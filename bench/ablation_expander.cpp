@@ -1,0 +1,50 @@
+// Ablation — §8's related-work comparison: static expander topologies
+// (Kassing et al. [37]) versus Sirius.
+//
+// Expanders beat Clos on cost at equal throughput, but every byte still
+// crosses ~log_d(N) electrical switches, so their power/cost rides the
+// fading CMOS curve. Sirius' detour costs a flat 2 hops through a passive
+// core. This bench prints the expander's path-length statistics (which set
+// its capacity tax) next to Sirius' constant 2, and the per-Tbps power of
+// the three designs.
+#include <cstdio>
+#include <initializer_list>
+
+#include "powercost/power_model.hpp"
+#include "topo/expander.hpp"
+
+using namespace sirius;
+using namespace sirius::topo;
+
+int main() {
+  std::printf("Expander path-length vs Sirius' flat detour\n");
+  std::printf("%-10s %-8s %-12s %-10s %-18s\n", "switches", "degree",
+              "avg path", "diameter", "capacity tax (hops)");
+  for (const auto& [n, d] : {std::pair{64, 8}, {128, 12}, {256, 16},
+                             {512, 16}, {1024, 32}}) {
+    ExpanderGraph g(n, d, 7);
+    std::printf("%-10d %-8d %-12.2f %-10d %-18.2f\n", n, d,
+                g.average_path_length(), g.diameter(),
+                g.average_path_length());
+  }
+  std::printf("%-10s %-8s %-12s %-10s %-18s\n", "Sirius", "-", "2.00 flat",
+              "2", "2.00 (Valiant)");
+
+  // Power: each hop of an expander path crosses a switch + transceiver
+  // pair; Sirius crosses two tunable transceivers and zero core switches.
+  powercost::PowerModel pm;
+  ExpanderGraph g(512, 16, 7);
+  const double hops = g.average_path_length();
+  const double expander_w =
+      hops * pm.switch_watts_per_tbps() +
+      (hops + 1.0) * 2.0 * pm.transceiver_watts_per_tbps();
+  std::printf("\npower per Tbps (large deployment):\n");
+  std::printf("  ESN (4-tier Clos)    : %7.1f W/Tbps\n",
+              pm.esn_power_per_tbps(4));
+  std::printf("  expander (512 x 16)  : %7.1f W/Tbps\n", expander_w);
+  std::printf("  Sirius (3x tunables) : %7.1f W/Tbps\n",
+              pm.sirius_power_per_tbps(3.0));
+  std::printf("\n(expanders soften the Clos scale tax but stay on the CMOS "
+              "curve; Sirius' core is passive and generation-proof, §8)\n");
+  return 0;
+}

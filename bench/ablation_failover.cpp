@@ -1,0 +1,41 @@
+// Ablation — §4.5 fault tolerance: with k failed racks out of N, the
+// adjusted schedule (rotation over the alive set, failed relays excluded
+// by congestion control) keeps the network functional with a proportional
+// ~k/N bandwidth loss, instead of blackholing 1/N of every node's traffic
+// through the dead relay.
+#include <cstdio>
+#include <initializer_list>
+
+#include "core/experiment.hpp"
+#include "sim/sirius_sim.hpp"
+
+using namespace sirius;
+using namespace sirius::core;
+
+int main() {
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  std::printf("Fault tolerance: failed racks vs goodput/FCT (%d racks, "
+              "%lld flows, L=75%%)\n",
+              cfg.racks, static_cast<long long>(cfg.flows));
+  std::printf("%-8s %-14s %-10s %-10s %-10s\n", "failed", "fct99_short_ms",
+              "goodput", "rejected", "incomplete");
+
+  const auto w = make_workload(cfg, 0.75);
+  for (const std::int32_t k : {0, 1, 2, 4, 8}) {
+    sim::SiriusSimConfig s = make_sirius_config(cfg, SiriusVariant{});
+    for (std::int32_t f = 0; f < k; ++f) {
+      // Spread failures across the id space.
+      s.failed_racks.push_back(f * (cfg.racks / std::max(1, k)));
+    }
+    sim::SiriusSim sim(s, w);
+    const auto r = sim.run();
+    std::printf("%-8d %-14.4f %-10.3f %-10lld %-10lld\n", k,
+                r.fct.short_fct_p99_ms, r.goodput_normalized,
+                static_cast<long long>(r.rejected_flows),
+                static_cast<long long>(r.incomplete_flows));
+  }
+  std::printf("\n(§4.5: a node failure costs every other node ~1/N of its "
+              "bandwidth; the alive-set schedule regains the rest — goodput "
+              "degrades gracefully and nothing blackholes)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation — §4.5 failure detection: the cyclic schedule gives free,
+// probe-less failure detection. A hard failure is declared after
+// `threshold` missed rounds and known datacenter-wide one round later;
+// grey (sporadic) failures are caught after an expected ~1/p^k rounds.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+#include <initializer_list>
+
+#include "ctrl/failure_detector.hpp"
+
+using namespace sirius;
+using namespace sirius::ctrl;
+
+int main() {
+  std::printf("Failure detection via missed schedule slots\n\n");
+  std::printf("%-8s %-12s %-18s %-20s\n", "nodes", "round", "detected after",
+              "fleet-wide after");
+  for (const std::int32_t nodes : {16, 64, 128}) {
+    FailureDetectorConfig cfg;
+    cfg.nodes = nodes;
+    // Round length grows with N at fixed uplinks: (N-1)/12 slots x 100 ns.
+    cfg.round_duration =
+        Time::ns(100) * std::max<std::int64_t>(1, (nodes - 1) / 12);
+    FailureDetectorSim sim(cfg, 1);
+    const auto r = sim.run_hard_failure(nodes / 2);
+    std::printf("%-8d %-12s %-18s %-20s\n", nodes,
+                cfg.round_duration.to_string().c_str(),
+                r.detection_latency.to_string().c_str(),
+                r.dissemination_latency.to_string().c_str());
+  }
+  std::printf("(§4.4/§4.5: a failed node is routed around within "
+              "microseconds)\n");
+
+  std::printf("\nGrey failures: rounds until a p-lossy link trips the "
+              "3-consecutive-miss detector\n");
+  std::printf("%-12s %-16s\n", "loss prob", "rounds (median of 9)");
+  FailureDetectorConfig cfg;
+  cfg.nodes = 64;
+  for (const double p : {0.5, 0.2, 0.1, 0.05}) {
+    std::vector<std::int64_t> samples;
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      FailureDetectorSim sim(cfg, seed);
+      samples.push_back(sim.run_grey_failure(0, 1, p, 10'000'000));
+    }
+    std::sort(samples.begin(), samples.end());
+    std::printf("%-12.2f %-16lld\n", p,
+                static_cast<long long>(samples[samples.size() / 2]));
+  }
+  std::printf("(sporadic loss is caught in ~1/p^3 rounds — microseconds to "
+              "milliseconds — without any dedicated probing)\n");
+  return 0;
+}

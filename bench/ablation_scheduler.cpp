@@ -1,0 +1,65 @@
+// Ablation — scheduler-less vs on-demand scheduling (§4.2).
+//
+// The paper's argument for the static schedule, quantified:
+//   1. under uniform(ised) demand — which Valiant load balancing creates
+//      from *any* traffic matrix — the static rotation already serves
+//      everything, so a demand-collecting scheduler buys nothing;
+//   2. under raw skewed demand the matcher wins on paper, but its control
+//      loop (collect demands across the fabric, run the matcher,
+//      distribute schedules) is dozens of slots stale at nanosecond slot
+//      sizes — it cannot exist at Sirius timescales.
+#include <cstdio>
+#include <initializer_list>
+
+#include "sched/demand_scheduler.hpp"
+
+using namespace sirius;
+using namespace sirius::sched;
+
+int main() {
+  constexpr std::int32_t kNodes = 64;
+  constexpr std::int32_t kSlots = kNodes - 1;  // one rotation round
+  Rng rng(42);
+
+  std::printf("Scheduler ablation (%d nodes, %d-slot horizon)\n\n", kNodes,
+              kSlots);
+  std::printf("%-26s %-18s %-18s\n", "demand matrix", "static rotation",
+              "on-demand matcher");
+  struct Case {
+    const char* name;
+    std::vector<std::int64_t> demand;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"uniform (1/pair)", uniform_demand(kNodes, 1)});
+  cases.push_back({"hotspot dst 80%", hotspot_demand(kNodes, 2'000, 0.8, rng)});
+  cases.push_back(
+      {"8 skewed pairs", skewed_pairs_demand(kNodes, 8, kSlots)});
+
+  for (const auto& c : cases) {
+    const double stat =
+        DemandScheduler::static_rotation_service(c.demand, kNodes, kSlots);
+    DemandScheduler ds(kNodes, 7);
+    MatchStats stats;
+    auto residual = c.demand;
+    ds.decompose(residual, kSlots, 4, stats);
+    std::int64_t total = 0;
+    for (const auto v : c.demand) total += v;
+    const double dyn = static_cast<double>(stats.demand_served) /
+                       static_cast<double>(total);
+    std::printf("%-26s %16.1f%% %16.1f%%\n", c.name, stat * 100.0,
+                dyn * 100.0);
+  }
+
+  std::printf("\nValiant load balancing turns every matrix into the uniform "
+              "row above,\nwhich the static rotation serves optimally — "
+              "with zero control traffic.\n");
+
+  const Time control = DemandScheduler::control_latency(
+      Time::us(5), /*iterations=*/4, Time::ns(10));
+  std::printf("\nOn-demand control loop: ~%s per schedule update "
+              "(demand collection RTT + matching),\nversus a 100 ns slot: "
+              "every computed schedule is ~%lld slots stale.\n",
+              control.to_string().c_str(),
+              static_cast<long long>(control / Time::ns(100)));
+  return 0;
+}

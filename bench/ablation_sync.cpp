@@ -1,0 +1,64 @@
+// Ablation — time-synchronisation design choices (§4.4):
+//   * leader rotation vs a fixed leader under failures,
+//   * PLL gain sensitivity,
+//   * phase-measurement-noise sensitivity.
+#include <cstdio>
+
+#include "sync/sync_protocol.hpp"
+#include <initializer_list>
+
+using namespace sirius;
+using namespace sirius::sync;
+
+int main() {
+  constexpr std::int64_t kEpochs = 120'000;
+  constexpr std::int64_t kWarmup = 20'000;
+
+  std::printf("Ablation A: leader rotation vs fixed leader under failure\n");
+  {
+    // Rotation (default): a failed leader is skipped within one epoch.
+    SyncProtocolConfig rot;
+    rot.nodes = 8;
+    SyncProtocolSim sim(rot, 1);
+    sim.fail_node_at(0, kEpochs / 2);
+    const auto r = sim.run(kEpochs, kEpochs / 2 + 1'000);
+    std::printf("  rotation, node-0 fails : max offset %.2f ps, "
+                "failovers %lld\n",
+                r.max_pairwise_offset_ps,
+                static_cast<long long>(r.leader_failovers));
+    // A "fixed leader" is rotation with an infinite tenure; if that leader
+    // dies the others free-run on residual frequency error until the skip
+    // logic kicks in — here the skip saves it, the point is the tenure.
+    SyncProtocolConfig fixed = rot;
+    fixed.leader_tenure_epochs = kEpochs;  // never rotates voluntarily
+    SyncProtocolSim sim2(fixed, 1);
+    sim2.fail_node_at(1, kEpochs / 2);  // node 1 is the fixed leader
+    const auto r2 = sim2.run(kEpochs, kEpochs / 2 + 1'000);
+    std::printf("  fixed leader fails     : max offset %.2f ps "
+                "(recovered by failover skip)\n",
+                r2.max_pairwise_offset_ps);
+  }
+
+  std::printf("\nAblation B: PLL gain\n");
+  for (const double gain : {0.1, 0.5, 0.9}) {
+    SyncProtocolConfig cfg;
+    cfg.nodes = 8;
+    cfg.pll_gain = gain;
+    const auto r = SyncProtocolSim(cfg, 2).run(kEpochs, kWarmup);
+    std::printf("  gain %.1f: max offset %.2f ps, converged@%lld epochs\n",
+                gain, r.max_pairwise_offset_ps,
+                static_cast<long long>(r.convergence_epochs));
+  }
+
+  std::printf("\nAblation C: phase-measurement noise\n");
+  for (const double noise_ps : {0.2, 1.0, 5.0}) {
+    SyncProtocolConfig cfg;
+    cfg.nodes = 8;
+    cfg.clock.phase_noise_ps = noise_ps;
+    const auto r = SyncProtocolSim(cfg, 3).run(kEpochs, kWarmup);
+    std::printf("  noise %.1f ps RMS: max offset %.2f ps\n", noise_ps,
+                r.max_pairwise_offset_ps);
+  }
+  std::printf("\n(paper: +/-5 ps achieved with standard PLL/DLL hardware)\n");
+  return 0;
+}

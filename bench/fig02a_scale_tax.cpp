@@ -1,0 +1,28 @@
+// Fig. 2a — the "scale tax": network power per unit bisection bandwidth as
+// the electrically-switched network grows (layers of hierarchy added).
+// Paper series: 2 nodes (0 layers) = 50 W/Tbps ... 2M nodes (4 layers) =
+// 487 W/Tbps. A 100 Pbps datacenter network at 4 tiers: ~48.7 MW.
+#include <cstdio>
+
+#include "powercost/power_model.hpp"
+#include <initializer_list>
+
+int main() {
+  using sirius::powercost::PowerModel;
+  PowerModel model;
+
+  std::printf("Fig 2a: scale tax of the electrically-switched network\n");
+  std::printf("%-12s %-8s %-18s\n", "endpoints", "layers", "power (W/Tbps)");
+  const long long scales[] = {2, 64, 2'048, 65'536, 2'000'000};
+  for (const long long endpoints : scales) {
+    const int layers = PowerModel::tiers_for_endpoints(endpoints);
+    std::printf("%-12lld %-8d %-18.1f\n", endpoints, layers,
+                model.esn_power_per_tbps(layers));
+  }
+
+  const double mw_100pbps = model.esn_power_per_tbps(4) * 100'000.0 / 1e6;
+  std::printf("\n100 Pbps non-blocking network at 4 layers: %.1f MW "
+              "(paper: 48.7 MW, vs a 32 MW datacenter allocation)\n",
+              mw_100pbps);
+  return 0;
+}

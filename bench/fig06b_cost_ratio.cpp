@@ -1,0 +1,36 @@
+// Fig. 6b — Sirius cost relative to ESN as the grating's cost (fraction of
+// an electrical switch) varies; solid series vs a non-blocking ESN, dashed
+// vs a 3:1 oversubscribed ESN. Paper: 28 % at grating = 25 % of a switch
+// and tunable laser = 3x fixed (error bars to 5x); 53 % vs oversubscribed;
+// 55 % vs an electrically-switched Sirius variant.
+#include <cstdio>
+
+#include "powercost/cost_model.hpp"
+#include <initializer_list>
+
+int main() {
+  sirius::powercost::CostModel model;
+
+  std::printf("Fig 6b: Sirius / ESN cost vs grating cost (laser 3x fixed, "
+              "error bars at 5x)\n");
+  std::printf("%-16s %-26s %-26s\n", "grating/switch",
+              "vs non-blocking ESN", "vs 3:1 oversubscribed ESN");
+  for (const double g : {0.05, 0.10, 0.25, 0.50, 0.75, 1.00}) {
+    std::printf("%13.0f%%  %8.1f%% [%5.1f%%]         %8.1f%% [%5.1f%%]\n",
+                g * 100.0,
+                model.cost_ratio_nonblocking(g, 3.0) * 100.0,
+                model.cost_ratio_nonblocking(g, 5.0) * 100.0,
+                model.cost_ratio_oversubscribed(g, 3.0) * 100.0,
+                model.cost_ratio_oversubscribed(g, 5.0) * 100.0);
+  }
+
+  std::printf("\nHeadline points (grating at 25%%, laser 3x):\n");
+  std::printf("  vs non-blocking ESN:        %5.1f%%  (paper: 28%%)\n",
+              model.cost_ratio_nonblocking(0.25, 3.0) * 100.0);
+  std::printf("  vs 3:1 oversubscribed ESN:  %5.1f%%  (paper: 53%%)\n",
+              model.cost_ratio_oversubscribed(0.25, 3.0) * 100.0);
+  std::printf("  vs electrical Sirius:       %5.1f%%  (paper: 55%%)\n",
+              model.sirius_cost_per_tbps(0.25, 3.0) /
+                  model.electrical_sirius_cost_per_tbps() * 100.0);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 8b — with the disaggregated laser, switching time is independent of
+// the wavelength span: adjacent channels (1552.524 -> 1552.926 nm) and
+// distant ones (1550.116 -> 1559.389 nm) both switch in under ~900 ps,
+// unlike the standard DSDBR whose settle time grows with span.
+#include <cstdio>
+
+#include "optical/disaggregated_laser.hpp"
+#include "optical/power.hpp"
+#include <initializer_list>
+
+using namespace sirius;
+using namespace sirius::optical;
+
+int main() {
+  Rng rng(8);
+  FixedBankLaser fast(112, SoaConfig{}, rng);
+  DsdbrLaser standard;
+  WavelengthGrid grid(112, 50.0);
+
+  struct Transition {
+    const char* label;
+    WavelengthId from, to;
+  };
+  const Transition cases[] = {
+      {"adjacent", 55, 56},
+      {"medium span", 30, 70},
+      {"full C-band", 0, 111},
+  };
+
+  std::printf("Fig 8b: switching time vs wavelength span\n");
+  std::printf("%-14s %-22s %-16s %-16s\n", "case", "wavelengths (nm)",
+              "disaggregated", "standard DSDBR");
+  for (const auto& c : cases) {
+    fast.tune_to(c.from);
+    const Time t_fast = fast.tune_to(c.to);
+    const Time t_std = standard.tuning_latency(c.from, c.to);
+    std::printf("%-14s %8.3f -> %-10.3f %-16s %-16s\n", c.label,
+                grid.wavelength_nm(c.from), grid.wavelength_nm(c.to),
+                t_fast.to_string().c_str(), t_std.to_string().c_str());
+  }
+  std::printf("\n(paper: both adjacent and distant transitions < ~900 ps on "
+              "the chip)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 13 — impact of the mean flow size (512 B ... 100 KB) on FCT and
+// goodput: Sirius pads small flows to fixed 562 B cells, so at mean 512 B
+// the paper reports 2.3x worse FCT and 1.7x lower goodput than ESN with
+// variable-size packets; by 16 KB the gap shrinks to 1.2x / 1.05x.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include <initializer_list>
+
+using namespace sirius;
+using namespace sirius::core;
+
+int main() {
+  ExperimentConfig cfg = ExperimentConfig::from_env();
+  std::printf("Fig 13: mean-flow-size sweep at L=50%% (%d racks x %d "
+              "servers, %lld flows)\n",
+              cfg.racks, cfg.servers_per_rack,
+              static_cast<long long>(cfg.flows));
+  std::printf("%-9s ", "meanF");
+  print_metrics_header();
+
+  for (const std::int64_t mean :
+       {512ll, 1'024ll, 2'048ll, 4'096ll, 16'384ll, 32'768ll, 65'536ll,
+        100'000ll}) {
+    cfg.mean_flow_size = DataSize::bytes(mean);
+    const auto w = make_workload(cfg, 0.5);
+    {
+      auto m = run_esn(cfg, 1, w);
+      std::printf("%-9lld ", static_cast<long long>(mean));
+      print_metrics_row(m);
+    }
+    {
+      auto m = run_sirius(cfg, SiriusVariant{}, w);
+      std::printf("%-9lld ", static_cast<long long>(mean));
+      print_metrics_row(m);
+    }
+  }
+  std::printf("\n(paper shape: the fixed-cell padding penalty is largest at "
+              "512 B mean and fades as flows grow)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Memory disaggregation (§1, §2.1): compute servers page 4 KB blocks
+// to/from remote memory servers. The fetch latency budget is brutal —
+// every microsecond of network latency lands directly on the memory-stall
+// path — and the access pattern is a high-fanout stream of small
+// transfers, exactly the §2.2 regime.
+//
+// Measures the remote-read latency distribution on Sirius with the
+// request/grant protocol, and shows the effect of the queue bound Q on
+// the tail under contention (many compute nodes hammering few memory
+// nodes).
+#include <cstdio>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "core/network_api.hpp"
+#include <initializer_list>
+
+using namespace sirius;
+
+namespace {
+
+PercentileTracker run_trial(std::int32_t q, double contention) {
+  sim::SiriusSimConfig cfg;
+  cfg.racks = 32;
+  cfg.servers_per_rack = 8;
+  cfg.base_uplinks = 8;
+  cfg.queue_limit = q;
+
+  // Racks 0-3 hold memory servers; the rest are compute.
+  Rng rng(13);
+  core::SiriusNetwork net(cfg);
+  std::vector<FlowId> reads;
+  constexpr int kReads = 4'000;
+  const DataSize page = DataSize::kilobytes(4);
+  Time clock = Time::zero();
+  for (int i = 0; i < kReads; ++i) {
+    const auto mem_rack = static_cast<std::int32_t>(rng.below(4));
+    const auto mem_server =
+        mem_rack * cfg.servers_per_rack +
+        static_cast<std::int32_t>(rng.below(
+            static_cast<std::uint64_t>(cfg.servers_per_rack)));
+    const auto compute_server =
+        4 * cfg.servers_per_rack +
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(
+            cfg.servers() - 4 * cfg.servers_per_rack)));
+    // Page fetch: memory server -> compute server.
+    reads.push_back(net.send(mem_server, compute_server, page, clock));
+    clock += Time::from_ns(4096.0 * 8.0 / (50.0 * contention));
+  }
+  auto result = net.run();
+  PercentileTracker lat_us;
+  for (const FlowId id : reads) {
+    lat_us.add(result.fct_of(id).to_us());
+  }
+  return lat_us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("remote 4 KB page reads from 4 memory racks (32-rack "
+              "cluster)\n\n");
+  std::printf("%-4s %-12s %-10s %-10s %-10s\n", "Q", "contention", "p50(us)",
+              "p99(us)", "p99.9(us)");
+  for (const double contention : {0.2, 0.8}) {
+    for (const std::int32_t q : {2, 4, 16}) {
+      auto lat = run_trial(q, contention);
+      std::printf("%-4d %-12.1f %-10.2f %-10.2f %-10.2f\n", q, contention,
+                  lat.percentile(50.0), lat.percentile(99.0),
+                  lat.percentile(99.9));
+    }
+  }
+  std::printf("\nBounded intermediate queues (Q=4) keep the paging tail "
+              "flat under contention: the fabric adds predictable "
+              "epoch-granularity latency, not queue-depth latency.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Key-value store traffic (§2.2): RPC-sized transfers with high fanout —
+// the bursty, small-packet workload that motivates nanosecond switching.
+// Reproduces the §2.2 arithmetic on the packet mix and then measures the
+// tail latency of small GET responses on Sirius at increasing load.
+#include <cstdio>
+
+#include "common/histogram.hpp"
+#include "core/network_api.hpp"
+#include "workload/packet_mix.hpp"
+#include <initializer_list>
+
+using namespace sirius;
+
+int main() {
+  // --- The §2.2 motivation, from the packet-mix model -------------------
+  const auto mix = workload::PacketMix::cloud_trace_2019();
+  std::printf("cloud trace packet mix: %.1f%% < 128 B, %.1f%% <= 576 B\n",
+              mix.fraction_at_or_below(DataSize::bytes(128)) * 100.0,
+              mix.fraction_at_or_below(DataSize::bytes(576)) * 100.0);
+  const Time interval = workload::switch_interval(DataSize::bytes(576),
+                                                  DataRate::gbps(50));
+  std::printf("576 B at 50 Gbps serialises in %s -> a spraying endpoint "
+              "re-tunes every packet;\nguardband for <10%% overhead: %s\n\n",
+              interval.to_string().c_str(),
+              workload::max_guardband_for_overhead(DataSize::bytes(576),
+                                                   DataRate::gbps(50), 0.1)
+                  .to_string()
+                  .c_str());
+
+  // --- GET-response tail latency on Sirius -------------------------------
+  sim::SiriusSimConfig cfg;
+  cfg.racks = 32;
+  cfg.servers_per_rack = 8;
+  cfg.base_uplinks = 8;
+
+  Rng rng(7);
+  for (const double load : {0.1, 0.5}) {
+    core::SiriusNetwork net(cfg);
+    // One cache server per rack answers GETs from random clients; response
+    // sizes follow the trace mix, a few thousand RPCs per run.
+    constexpr int kRpcs = 5'000;
+    const double interarrival_ns =
+        576.0 * 8.0 / (50.0 * load) * 32.0 / kRpcs * kRpcs;  // per server
+    std::vector<FlowId> ids;
+    Time clock = Time::zero();
+    for (int i = 0; i < kRpcs; ++i) {
+      const auto cache =
+          static_cast<std::int32_t>(rng.below(32)) * cfg.servers_per_rack;
+      auto client = static_cast<std::int32_t>(rng.below(
+          static_cast<std::uint64_t>(cfg.servers())));
+      if (client == cache) client = (client + 1) % cfg.servers();
+      const DataSize resp = mix.sample(rng);
+      ids.push_back(net.send(cache, client, resp, clock));
+      clock += Time::from_ns(interarrival_ns / kRpcs * 32.0 / load);
+    }
+    auto result = net.run();
+    PercentileTracker fct_us;
+    for (const FlowId id : ids) {
+      fct_us.add(result.fct_of(id).to_us());
+    }
+    std::printf("load %3.0f%%: GET response FCT p50 %6.2f us   p99 %6.2f us"
+                "   p99.9 %6.2f us\n",
+                load * 100.0, fct_us.percentile(50.0), fct_us.percentile(99.0),
+                fct_us.percentile(99.9));
+  }
+  std::printf("\nSingle-cell responses cross the flat core in a handful of "
+              "epochs even at the tail — no electrical hierarchy to "
+              "traverse.\n");
+  return 0;
+}

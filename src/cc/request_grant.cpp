@@ -1,0 +1,80 @@
+#include "cc/request_grant.hpp"
+
+#include <cassert>
+
+namespace sirius::cc {
+
+RequestGrantNode::RequestGrantNode(NodeId self, const RequestGrantConfig& cfg)
+    : self_(self), cfg_(cfg) {
+  assert(cfg_.nodes >= 2);
+  assert(cfg_.queue_limit >= 2 && "Q < 2 can deadlock the relay (see §4.3)");
+  outstanding_.assign(static_cast<std::size_t>(cfg_.nodes), 0);
+  picked_this_epoch_.assign(static_cast<std::size_t>(cfg_.nodes), 0);
+  intermediate_pool_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  pool_pos_.assign(static_cast<std::size_t>(cfg_.nodes), -1);
+  excluded_.assign(static_cast<std::size_t>(cfg_.nodes), 0);
+}
+
+void RequestGrantNode::shuffle_inbox(Rng& rng) {
+  // Fisher–Yates so the per-destination pick below is uniform among the
+  // requests for that destination.
+  for (std::size_t i = inbox_.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(inbox_[i - 1], inbox_[j]);
+  }
+}
+
+void RequestGrantNode::pool_remove(NodeId n) {
+  const std::int32_t pos = pool_pos_[static_cast<std::size_t>(n)];
+  assert(pos >= 0);
+  const NodeId last = intermediate_pool_.back();
+  intermediate_pool_[static_cast<std::size_t>(pos)] = last;
+  pool_pos_[static_cast<std::size_t>(last)] = pos;
+  intermediate_pool_.pop_back();
+  pool_pos_[static_cast<std::size_t>(n)] = -1;
+}
+
+std::vector<RequestGrantNode::OutgoingRequest> RequestGrantNode::build_requests(
+    const std::vector<NodeId>& pending, std::int64_t epoch, Rng& rng,
+    const std::function<bool(NodeId)>& usable) {
+  std::vector<OutgoingRequest> out;
+  if (pending.empty()) return out;
+
+  // Candidate intermediates: every alive, serviceable node but ourselves.
+  intermediate_pool_.clear();
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    if (n != self_ && excluded_[static_cast<std::size_t>(n)] == 0 &&
+        (!usable || usable(n))) {
+      pool_pos_[static_cast<std::size_t>(n)] =
+          static_cast<std::int32_t>(intermediate_pool_.size());
+      intermediate_pool_.push_back(n);
+    } else {
+      pool_pos_[static_cast<std::size_t>(n)] = -1;
+    }
+  }
+  if (intermediate_pool_.empty()) return out;
+
+  out.reserve(std::min(pending.size(), intermediate_pool_.size()));
+  for (const NodeId dst : pending) {
+    if (intermediate_pool_.empty()) break;
+    NodeId pick = kInvalidNode;
+    if (cfg_.spread == SpreadPolicy::kDesynchronized) {
+      // First choice: the rotating, collision-free slot for this
+      // destination. If it is ourselves or already used (same-D repeat),
+      // fall back to a random unused intermediate below.
+      const auto cand = static_cast<NodeId>(
+          (static_cast<std::int64_t>(dst) + self_ + epoch) % cfg_.nodes);
+      if (cand != self_ && pool_pos_[static_cast<std::size_t>(cand)] >= 0) {
+        pick = cand;
+      }
+    }
+    if (pick == kInvalidNode) {
+      pick = intermediate_pool_[rng.below(intermediate_pool_.size())];
+    }
+    pool_remove(pick);
+    out.push_back(OutgoingRequest{pick, dst});
+  }
+  return out;
+}
+
+}  // namespace sirius::cc

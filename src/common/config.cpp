@@ -1,0 +1,33 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+namespace sirius {
+
+std::optional<std::int64_t> env_int(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(parsed);
+}
+
+std::optional<double> env_double(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback) {
+  return env_int(name).value_or(fallback);
+}
+
+double env_double_or(const std::string& name, double fallback) {
+  return env_double(name).value_or(fallback);
+}
+
+}  // namespace sirius

@@ -1,0 +1,23 @@
+// Environment-variable helpers used by benches so runs can be scaled
+// without recompiling (e.g. SIRIUS_FLOWS=200000 ./bench/fig09_load_sweep).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sirius {
+
+/// Reads an integer environment variable; empty/unset/unparsable -> nullopt.
+std::optional<std::int64_t> env_int(const std::string& name);
+
+/// Reads a floating-point environment variable.
+std::optional<double> env_double(const std::string& name);
+
+/// Integer env var with default.
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback);
+
+/// Floating-point env var with default.
+double env_double_or(const std::string& name, double fallback);
+
+}  // namespace sirius

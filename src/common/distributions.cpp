@@ -1,0 +1,3 @@
+#include "common/distributions.hpp"
+
+// Header-only; this TU anchors the library.

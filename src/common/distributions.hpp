@@ -1,0 +1,124 @@
+// Random distributions used by the workload generator and device models.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace sirius {
+
+/// Pareto distribution (Type I) with shape `alpha` and a given mean.
+///
+/// The paper draws flow sizes from Pareto(shape = 1.05, mean = 100 KB):
+/// heavy-tailed, most flows small, most bytes in large flows. For a Type I
+/// Pareto with shape a > 1, mean = a * x_min / (a - 1), so
+/// x_min = mean * (a - 1) / a.
+class ParetoDistribution {
+ public:
+  ParetoDistribution(double shape, double mean)
+      : shape_(shape), x_min_(mean * (shape - 1.0) / shape) {}
+
+  /// Inverse-CDF sample: x_min * (1 - u)^(-1/shape).
+  double sample(Rng& rng) const {
+    const double u = rng.uniform();
+    return x_min_ * std::pow(1.0 - u, -1.0 / shape_);
+  }
+
+  double shape() const { return shape_; }
+  double scale() const { return x_min_; }
+  /// Median of the distribution: x_min * 2^(1/shape).
+  double median() const { return x_min_ * std::pow(2.0, 1.0 / shape_); }
+
+ private:
+  double shape_;
+  double x_min_;
+};
+
+/// Exponential distribution with a given mean (for Poisson inter-arrivals).
+class ExponentialDistribution {
+ public:
+  explicit ExponentialDistribution(double mean) : mean_(mean) {}
+
+  double sample(Rng& rng) const {
+    // Guard against u == 0 which would give log(0).
+    double u;
+    do {
+      u = rng.uniform();
+    } while (u <= 0.0);
+    return -mean_ * std::log(u);
+  }
+
+  double mean() const { return mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Normal distribution via Marsaglia polar method.
+class NormalDistribution {
+ public:
+  NormalDistribution(double mean, double stddev)
+      : mean_(mean), stddev_(stddev) {}
+
+  double sample(Rng& rng) const {
+    double u, v, s;
+    do {
+      u = rng.uniform(-1.0, 1.0);
+      v = rng.uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return mean_ + stddev_ * u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Log-normal distribution parameterised by the underlying normal's mu/sigma.
+/// Device switching times (SOA rise/fall) are modelled as log-normal: strictly
+/// positive, unimodal, with a controllable upper tail.
+class LogNormalDistribution {
+ public:
+  LogNormalDistribution(double mu, double sigma) : normal_(mu, sigma) {}
+
+  /// Builds a log-normal from a target median and a target p99.9/median ratio,
+  /// which is how we calibrate device models against published worst cases.
+  static LogNormalDistribution from_median_and_tail(double median,
+                                                    double tail_ratio_p999) {
+    // P99.9 of lognormal = median * exp(sigma * z_999), z_999 ~= 3.0902.
+    const double sigma = std::log(tail_ratio_p999) / 3.0902;
+    return LogNormalDistribution(std::log(median), sigma);
+  }
+
+  double sample(Rng& rng) const { return std::exp(normal_.sample(rng)); }
+
+ private:
+  NormalDistribution normal_;
+};
+
+/// Poisson arrival process: a stream of event times with exponential gaps.
+class PoissonProcess {
+ public:
+  /// `mean_interarrival` is the expected gap between consecutive events.
+  PoissonProcess(Time mean_interarrival, Rng rng)
+      : exp_(static_cast<double>(mean_interarrival.picoseconds())),
+        rng_(rng) {}
+
+  /// Advances and returns the next event time.
+  Time next() {
+    now_ = now_ + Time::ps(static_cast<std::int64_t>(exp_.sample(rng_) + 0.5));
+    return now_;
+  }
+
+  Time now() const { return now_; }
+
+ private:
+  ExponentialDistribution exp_;
+  Rng rng_;
+  Time now_ = Time::zero();
+};
+
+}  // namespace sirius

@@ -1,0 +1,3 @@
+#include "common/histogram.hpp"
+
+// Header-only; this TU anchors the library.

@@ -1,0 +1,6 @@
+#include "common/rng.hpp"
+
+// Header-only; this TU exists so the library has a concrete object to link.
+namespace sirius {
+static_assert(Rng::min() == 0);
+}  // namespace sirius

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// We use xoshiro256**: fast, high quality, and trivially seedable from a
+// single 64-bit value via splitmix64. All simulator randomness flows through
+// `Rng` so that a (seed, config) pair fully determines an experiment.
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+#include <limits>
+
+namespace sirius {
+
+/// xoshiro256** engine. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` using splitmix64, so distinct
+  /// seeds give decorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x5157495553ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) word = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t n) {
+    assert(n > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = -n % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child stream (e.g. one per node) so that
+  /// per-entity randomness does not depend on iteration order elsewhere.
+  Rng fork() { return Rng{(*this)() ^ 0x9e3779b97f4a7c15ull}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace sirius

@@ -1,0 +1,27 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sirius {
+
+std::string Time::to_string() const {
+  if (is_infinite()) return "inf";
+  const double ps = static_cast<double>(ps_);
+  const double abs = std::fabs(ps);
+  char buf[64];
+  if (abs < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(ps_));
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3g ns", ps * 1e-3);
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.4g us", ps * 1e-6);
+  } else if (abs < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.4g ms", ps * 1e-9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g s", ps * 1e-12);
+  }
+  return buf;
+}
+
+}  // namespace sirius

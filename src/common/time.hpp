@@ -1,0 +1,90 @@
+// Simulation time. Sirius operates at picosecond granularity (laser tuning
+// is measured in hundreds of ps, sync accuracy in +/-5 ps), so the base unit
+// is the picosecond held in a signed 64-bit count. That covers +/-106 days
+// of simulated time, far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace sirius {
+
+/// A point in (or duration of) simulated time, in picoseconds.
+///
+/// `Time` is a strong type: it cannot be silently mixed with raw integers.
+/// Construct via the factory functions (`Time::ps`, `Time::ns`, ...) or the
+/// literals in `sirius::literals`.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::int64_t v) { return Time{v}; }
+  static constexpr Time ns(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time us(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  static constexpr Time sec(std::int64_t v) {
+    return Time{v * 1'000'000'000'000};
+  }
+  /// Builds a Time from a floating-point count of nanoseconds (rounds to
+  /// the nearest picosecond).
+  static constexpr Time from_ns(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e3 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Time from_sec(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e12 + (v >= 0 ? 0.5 : -0.5))};
+  }
+
+  /// The largest representable time; used as "never" by schedulers.
+  static constexpr Time infinity() { return Time{INT64_MAX}; }
+  static constexpr Time zero() { return Time{0}; }
+
+  constexpr std::int64_t picoseconds() const { return ps_; }
+  constexpr double to_ns() const { return static_cast<double>(ps_) * 1e-3; }
+  constexpr double to_us() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double to_ms() const { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double to_sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr bool is_infinite() const { return ps_ == INT64_MAX; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) {
+    return Time{a.ps_ * k};
+  }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
+  friend constexpr std::int64_t operator/(Time a, Time b) {
+    return a.ps_ / b.ps_;
+  }
+  friend constexpr Time operator/(Time a, std::int64_t k) {
+    return Time{a.ps_ / k};
+  }
+  friend constexpr Time operator%(Time a, Time b) { return Time{a.ps_ % b.ps_}; }
+  constexpr Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
+  constexpr Time& operator-=(Time o) { ps_ -= o.ps_; return *this; }
+
+  /// Human-readable rendering with an auto-selected unit ("3.84 ns").
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_ps(unsigned long long v) {
+  return Time::ps(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_ns(unsigned long long v) {
+  return Time::ns(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return Time::us(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_ms(unsigned long long v) {
+  return Time::ms(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace sirius

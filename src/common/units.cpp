@@ -1,0 +1,33 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace sirius {
+
+std::string DataSize::to_string() const {
+  char buf[64];
+  if (bytes_ < 1'000) {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(bytes_));
+  } else if (bytes_ < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.4g KB", static_cast<double>(bytes_) * 1e-3);
+  } else if (bytes_ < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.4g MB", static_cast<double>(bytes_) * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g GB", static_cast<double>(bytes_) * 1e-9);
+  }
+  return buf;
+}
+
+std::string DataRate::to_string() const {
+  char buf[64];
+  if (bps_ < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.4g Mbps", static_cast<double>(bps_) * 1e-6);
+  } else if (bps_ < 1'000'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.4g Gbps", static_cast<double>(bps_) * 1e-9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g Tbps", static_cast<double>(bps_) * 1e-12);
+  }
+  return buf;
+}
+
+}  // namespace sirius

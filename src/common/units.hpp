@@ -1,0 +1,116 @@
+// Data sizes, data rates and strong identifier types shared by all modules.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace sirius {
+
+/// An amount of data in bytes (value type, byte-granular).
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  static constexpr DataSize bytes(std::int64_t v) { return DataSize{v}; }
+  static constexpr DataSize kilobytes(std::int64_t v) {
+    return DataSize{v * 1'000};
+  }
+  static constexpr DataSize megabytes(std::int64_t v) {
+    return DataSize{v * 1'000'000};
+  }
+  static constexpr DataSize zero() { return DataSize{0}; }
+
+  constexpr std::int64_t in_bytes() const { return bytes_; }
+  constexpr std::int64_t in_bits() const { return bytes_ * 8; }
+  constexpr double in_kb() const { return static_cast<double>(bytes_) * 1e-3; }
+
+  friend constexpr auto operator<=>(DataSize, DataSize) = default;
+  friend constexpr DataSize operator+(DataSize a, DataSize b) {
+    return DataSize{a.bytes_ + b.bytes_};
+  }
+  friend constexpr DataSize operator-(DataSize a, DataSize b) {
+    return DataSize{a.bytes_ - b.bytes_};
+  }
+  friend constexpr DataSize operator*(DataSize a, std::int64_t k) {
+    return DataSize{a.bytes_ * k};
+  }
+  constexpr DataSize& operator+=(DataSize o) { bytes_ += o.bytes_; return *this; }
+  constexpr DataSize& operator-=(DataSize o) { bytes_ -= o.bytes_; return *this; }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit DataSize(std::int64_t v) : bytes_(v) {}
+  std::int64_t bytes_ = 0;
+};
+
+/// A data rate. Stored in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  static constexpr DataRate bps(std::int64_t v) { return DataRate{v}; }
+  static constexpr DataRate gbps(double v) {
+    return DataRate{static_cast<std::int64_t>(v * 1e9 + 0.5)};
+  }
+  static constexpr DataRate tbps(double v) {
+    return DataRate{static_cast<std::int64_t>(v * 1e12 + 0.5)};
+  }
+  static constexpr DataRate zero() { return DataRate{0}; }
+
+  constexpr std::int64_t bits_per_sec() const { return bps_; }
+  constexpr double in_gbps() const { return static_cast<double>(bps_) * 1e-9; }
+  constexpr double in_tbps() const { return static_cast<double>(bps_) * 1e-12; }
+
+  /// Time to serialise `s` at this rate (rounded up to a whole picosecond).
+  constexpr Time transmission_time(DataSize s) const {
+    // bits * 1e12 / bps, computed in double then rounded: flows are <= GBs
+    // so precision is ample.
+    const double ps =
+        static_cast<double>(s.in_bits()) * 1e12 / static_cast<double>(bps_);
+    return Time::ps(static_cast<std::int64_t>(ps + 0.999999));
+  }
+
+  /// Bytes delivered in `t` at this rate (rounded down).
+  constexpr DataSize bytes_in(Time t) const {
+    const double bytes =
+        static_cast<double>(bps_) / 8.0 * t.to_sec();
+    return DataSize::bytes(static_cast<std::int64_t>(bytes));
+  }
+
+  friend constexpr auto operator<=>(DataRate, DataRate) = default;
+  friend constexpr DataRate operator+(DataRate a, DataRate b) {
+    return DataRate{a.bps_ + b.bps_};
+  }
+  friend constexpr DataRate operator*(DataRate a, std::int64_t k) {
+    return DataRate{a.bps_ * k};
+  }
+  friend constexpr DataRate operator/(DataRate a, std::int64_t k) {
+    return DataRate{a.bps_ / k};
+  }
+  friend constexpr double operator/(DataRate a, DataRate b) {
+    return static_cast<double>(a.bps_) / static_cast<double>(b.bps_);
+  }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit DataRate(std::int64_t v) : bps_(v) {}
+  std::int64_t bps_ = 0;
+};
+
+/// Index of a node (rack or server attached to the optical core).
+using NodeId = std::int32_t;
+/// Index of an uplink transceiver within a node.
+using UplinkId = std::int32_t;
+/// Index of a wavelength within the laser's tuning range (0-based).
+using WavelengthId = std::int32_t;
+/// Index of an AWGR grating in the passive core.
+using GratingId = std::int32_t;
+/// Unique flow identifier.
+using FlowId = std::int64_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+}  // namespace sirius

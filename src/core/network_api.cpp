@@ -1,0 +1,72 @@
+#include "core/network_api.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sirius::core {
+
+SiriusNetwork::SiriusNetwork(sim::SiriusSimConfig cfg) : cfg_(cfg) {}
+
+FlowId SiriusNetwork::send(std::int32_t src_server, std::int32_t dst_server,
+                           DataSize size, Time when) {
+  assert(src_server >= 0 && src_server < cfg_.servers());
+  assert(dst_server >= 0 && dst_server < cfg_.servers());
+  assert(src_server != dst_server && "a flow needs two distinct endpoints");
+  assert(size.in_bytes() > 0);
+  workload::Flow f;
+  f.id = next_id_++;
+  f.src_server = src_server;
+  f.dst_server = dst_server;
+  f.size = size;
+  f.arrival = when;
+  pending_.push_back(f);
+  return f.id;
+}
+
+void SiriusNetwork::add_workload(const workload::Workload& w) {
+  assert(w.servers == cfg_.servers());
+  for (workload::Flow f : w.flows) {
+    f.id = next_id_++;
+    pending_.push_back(f);
+  }
+}
+
+RunResult SiriusNetwork::run() {
+  // The simulator requires arrival order; explicit sends may interleave
+  // with generated workloads arbitrarily.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const workload::Flow& a, const workload::Flow& b) {
+                     return a.arrival < b.arrival;
+                   });
+  // Re-id flows by arrival order so simulator indexing matches, keeping a
+  // map back to the caller's ids.
+  std::vector<std::size_t> order(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    order[static_cast<std::size_t>(pending_[i].id)] = i;
+  }
+  workload::Workload w;
+  w.servers = cfg_.servers();
+  w.server_rate = cfg_.server_share();
+  w.flows = pending_;
+  for (std::size_t i = 0; i < w.flows.size(); ++i) {
+    w.flows[i].id = static_cast<FlowId>(i);
+  }
+
+  sim::SiriusSim sim(cfg_, w);
+  sim::SiriusSimResult raw = sim.run();
+
+  // Permute per-flow completions back to caller ids.
+  std::vector<Time> completions(raw.per_flow_completion.size());
+  std::vector<workload::Flow> caller_flows(pending_.size());
+  for (std::size_t caller_id = 0; caller_id < pending_.size(); ++caller_id) {
+    completions[caller_id] = raw.per_flow_completion[order[caller_id]];
+    caller_flows[caller_id] = w.flows[order[caller_id]];
+  }
+  raw.per_flow_completion = std::move(completions);
+
+  pending_.clear();
+  next_id_ = 0;
+  return RunResult(std::move(raw), std::move(caller_flows));
+}
+
+}  // namespace sirius::core

@@ -1,0 +1,77 @@
+// Public façade of the Sirius library.
+//
+// `SiriusNetwork` is the entry point downstream users program against: it
+// wraps topology, schedule, congestion control and the slot-synchronous
+// simulator behind a "submit flows, run, inspect results" API. The bench
+// and example binaries are all built on it.
+//
+//   sirius::core::SiriusNetwork net(config);
+//   auto f = net.send(/*src_server=*/0, /*dst_server=*/42,
+//                     sirius::DataSize::kilobytes(64), sirius::Time::zero());
+//   auto result = net.run();
+//   result.fct_of(f);  // end-to-end completion time of that flow
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "esn/fluid_sim.hpp"
+#include "sim/sirius_sim.hpp"
+#include "workload/generator.hpp"
+
+namespace sirius::core {
+
+/// Result of one SiriusNetwork run, with per-flow lookup.
+class RunResult {
+ public:
+  RunResult(sim::SiriusSimResult r, std::vector<workload::Flow> flows)
+      : r_(std::move(r)), flows_(std::move(flows)) {}
+
+  const sim::SiriusSimResult& raw() const { return r_; }
+  const stats::FctSummary& fct_summary() const { return r_.fct; }
+  double goodput_normalized() const { return r_.goodput_normalized; }
+
+  /// Completion latency of `flow` (infinite if it never finished).
+  Time fct_of(FlowId flow) const {
+    const Time done = r_.per_flow_completion.at(static_cast<std::size_t>(flow));
+    if (done.is_infinite()) return Time::infinity();
+    return done - flows_.at(static_cast<std::size_t>(flow)).arrival;
+  }
+  /// Absolute completion time of `flow`.
+  Time completion_of(FlowId flow) const {
+    return r_.per_flow_completion.at(static_cast<std::size_t>(flow));
+  }
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  sim::SiriusSimResult r_;
+  std::vector<workload::Flow> flows_;
+};
+
+/// User-facing handle on a simulated Sirius deployment.
+class SiriusNetwork {
+ public:
+  explicit SiriusNetwork(sim::SiriusSimConfig cfg);
+
+  const sim::SiriusSimConfig& config() const { return cfg_; }
+  std::int32_t servers() const { return cfg_.servers(); }
+
+  /// Queues a flow of `size` bytes from `src_server` to `dst_server`,
+  /// entering the network at absolute time `when`. Returns its id.
+  FlowId send(std::int32_t src_server, std::int32_t dst_server, DataSize size,
+              Time when);
+
+  /// Queues a synthetic §7 workload on top of any explicit sends.
+  void add_workload(const workload::Workload& w);
+
+  /// Runs the network until every queued flow completes (or the drain cap
+  /// is hit) and returns the results. The flow set resets afterwards.
+  RunResult run();
+
+ private:
+  sim::SiriusSimConfig cfg_;
+  std::vector<workload::Flow> pending_;
+  FlowId next_id_ = 0;
+};
+
+}  // namespace sirius::core

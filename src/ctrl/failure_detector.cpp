@@ -1,0 +1,78 @@
+#include "ctrl/failure_detector.hpp"
+
+#include <cassert>
+
+namespace sirius::ctrl {
+
+FailureDetectorSim::FailureDetectorSim(FailureDetectorConfig cfg,
+                                       std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  assert(cfg_.nodes >= 2);
+  assert(cfg_.miss_threshold >= 1);
+}
+
+DetectionResult FailureDetectorSim::run_hard_failure(NodeId victim,
+                                                     std::int64_t max_rounds) {
+  const auto n = static_cast<std::size_t>(cfg_.nodes);
+  // Per-observer miss counter for the victim, and per-node awareness flag.
+  std::vector<std::int32_t> misses(n, 0);
+  std::vector<std::uint8_t> aware(n, 0);
+
+  DetectionResult out;
+  for (std::int64_t round = 1; round <= max_rounds; ++round) {
+    // Every alive pair exchanges one burst per round. Observers of the
+    // victim miss theirs; everyone else also carries the failed-set.
+    bool newly_detected = false;
+    for (NodeId obs = 0; obs < cfg_.nodes; ++obs) {
+      if (obs == victim || aware[static_cast<std::size_t>(obs)]) continue;
+      if (++misses[static_cast<std::size_t>(obs)] >= cfg_.miss_threshold) {
+        aware[static_cast<std::size_t>(obs)] = 1;
+        newly_detected = true;
+      }
+    }
+    if (newly_detected && out.first_detection_round < 0) {
+      out.first_detection_round = round;
+    }
+    // Dissemination: any aware node informs every peer it talks to this
+    // round — i.e. all of them, since one round connects all pairs. (The
+    // direct observers all cross the threshold simultaneously here; with
+    // per-pair phase offsets they straggle by at most one round.)
+    if (out.first_detection_round >= 0) {
+      bool all = true;
+      for (NodeId i = 0; i < cfg_.nodes; ++i) {
+        if (i != victim && !aware[static_cast<std::size_t>(i)]) all = false;
+      }
+      if (all) {
+        out.all_aware_round = round;
+      } else {
+        for (NodeId i = 0; i < cfg_.nodes; ++i) {
+          if (i != victim) aware[static_cast<std::size_t>(i)] = 1;
+        }
+        out.all_aware_round = round + 1;
+      }
+      out.detection_latency =
+          cfg_.round_duration * out.first_detection_round;
+      out.dissemination_latency = cfg_.round_duration * out.all_aware_round;
+      return out;
+    }
+  }
+  return out;
+}
+
+std::int64_t FailureDetectorSim::run_grey_failure(NodeId src, NodeId dst,
+                                                  double loss,
+                                                  std::int64_t max_rounds) {
+  assert(src != dst);
+  assert(loss > 0.0 && loss <= 1.0);
+  std::int32_t misses = 0;
+  for (std::int64_t round = 1; round <= max_rounds; ++round) {
+    if (rng_.chance(loss)) {
+      if (++misses >= cfg_.miss_threshold) return round;
+    } else {
+      misses = 0;
+    }
+  }
+  return -1;
+}
+
+}  // namespace sirius::ctrl

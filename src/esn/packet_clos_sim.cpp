@@ -1,0 +1,155 @@
+#include "esn/packet_clos_sim.hpp"
+
+#include <cassert>
+
+namespace sirius::esn {
+namespace {
+
+std::int64_t packets_for(DataSize size, DataSize mtu) {
+  return (size.in_bytes() + mtu.in_bytes() - 1) / mtu.in_bytes();
+}
+
+std::int32_t bytes_of_packet(DataSize size, DataSize mtu, std::int64_t idx) {
+  const std::int64_t total = packets_for(size, mtu);
+  if (idx + 1 < total) return static_cast<std::int32_t>(mtu.in_bytes());
+  return static_cast<std::int32_t>(size.in_bytes() -
+                                   mtu.in_bytes() * (total - 1));
+}
+
+}  // namespace
+
+PacketClosSim::PacketClosSim(PacketClosConfig cfg,
+                             const workload::Workload& workload)
+    : cfg_(cfg),
+      workload_(workload),
+      goodput_(cfg.esn.servers(), cfg.esn.server_rate),
+      measure_end_(workload.last_arrival()) {
+  assert(workload_.servers == cfg_.esn.servers());
+  const std::int32_t s = cfg_.esn.servers();
+  const std::int32_t r = cfg_.esn.racks;
+  ports_.resize(static_cast<std::size_t>(2 * s + 2 * r));
+  const DataRate rack_pipe =
+      (cfg_.esn.server_rate * cfg_.esn.servers_per_rack) /
+      cfg_.esn.oversubscription;
+  for (std::int32_t i = 0; i < s; ++i) {
+    ports_[static_cast<std::size_t>(i)].rate = cfg_.esn.server_rate;
+    ports_[static_cast<std::size_t>(s + 2 * r + i)].rate =
+        cfg_.esn.server_rate;
+  }
+  for (std::int32_t i = 0; i < 2 * r; ++i) {
+    ports_[static_cast<std::size_t>(s + i)].rate = rack_pipe;
+  }
+
+  const std::size_t flows = workload_.flows.size();
+  packets_left_.resize(flows);
+  next_to_inject_.assign(flows, 0);
+  flow_src_.resize(flows);
+  flow_dst_.resize(flows);
+}
+
+std::int32_t PacketClosSim::port_for(const Packet& p) const {
+  const std::int32_t s = cfg_.esn.servers();
+  const std::int32_t r = cfg_.esn.racks;
+  const std::int32_t src = flow_src_[static_cast<std::size_t>(p.flow)];
+  const std::int32_t dst = flow_dst_[static_cast<std::size_t>(p.flow)];
+  switch (p.stage) {
+    case 0: return src;
+    case 1: return s + src / cfg_.esn.servers_per_rack;
+    case 2: return s + r + dst / cfg_.esn.servers_per_rack;
+    case 3: return s + 2 * r + dst;
+    default: assert(false); return -1;
+  }
+}
+
+void PacketClosSim::inject_next(FlowId flow) {
+  const auto fi = static_cast<std::size_t>(flow);
+  const workload::Flow& wf = workload_.flows[fi];
+  const std::int64_t total = packets_for(wf.size, cfg_.mtu);
+  if (next_to_inject_[fi] >= total) return;
+  Packet p;
+  p.flow = flow;
+  p.bytes = bytes_of_packet(wf.size, cfg_.mtu, next_to_inject_[fi]);
+  p.last = (next_to_inject_[fi] + 1 == total);
+  p.stage = 0;
+  ++next_to_inject_[fi];
+  enqueue(port_for(p), p);
+}
+
+void PacketClosSim::enqueue(std::int32_t port_id, Packet p) {
+  Port& port = ports_[static_cast<std::size_t>(port_id)];
+  port.fifo.push_back(p);
+  if (!port.busy) {
+    port.busy = true;
+    serve(port_id);
+  }
+}
+
+void PacketClosSim::serve(std::int32_t port_id) {
+  Port& port = ports_[static_cast<std::size_t>(port_id)];
+  assert(!port.fifo.empty());
+  const Packet p = port.fifo.front();
+  const Time tx = port.rate.transmission_time(DataSize::bytes(p.bytes));
+  q_.schedule_in(tx, [this, port_id] {
+    Port& pt = ports_[static_cast<std::size_t>(port_id)];
+    const Packet done = pt.fifo.front();
+    pt.fifo.pop_front();
+    on_served(done);
+    if (!pt.fifo.empty()) {
+      serve(port_id);
+    } else {
+      pt.busy = false;
+    }
+  });
+}
+
+void PacketClosSim::on_served(Packet p) {
+  const auto fi = static_cast<std::size_t>(p.flow);
+  const workload::Flow& wf = workload_.flows[fi];
+  const bool intra_rack = flow_src_[fi] / cfg_.esn.servers_per_rack ==
+                          flow_dst_[fi] / cfg_.esn.servers_per_rack;
+
+  if (p.stage < 3) {
+    // Forward to the next stage (intra-rack traffic skips the core pipes).
+    Packet nxt = p;
+    nxt.stage = (intra_rack && p.stage == 0) ? 3 : p.stage + 1;
+    q_.schedule_in(cfg_.per_hop_latency,
+                   [this, nxt] { enqueue(port_for(nxt), nxt); });
+    if (p.stage == 0) {
+      // Self-clocked source: the flow's next packet enters the NIC queue
+      // only now, which interleaves concurrent flows 1:1 — the packetised
+      // analogue of per-flow fair queuing.
+      inject_next(p.flow);
+    }
+    return;
+  }
+
+  // Stage 3: delivered to the destination server.
+  if (q_.now() <= measure_end_) {
+    goodput_.deliver(DataSize::bytes(p.bytes));
+  }
+  if (--packets_left_[fi] == 0) {
+    fct_.record(wf.size, q_.now() - wf.arrival);
+  }
+}
+
+EsnSimResult PacketClosSim::run() {
+  for (std::size_t i = 0; i < workload_.flows.size(); ++i) {
+    const workload::Flow& wf = workload_.flows[i];
+    flow_src_[i] = wf.src_server;
+    flow_dst_[i] = wf.dst_server;
+    packets_left_[i] = packets_for(wf.size, cfg_.mtu);
+    const auto flow = static_cast<FlowId>(i);
+    q_.schedule_at(wf.arrival, [this, flow] { inject_next(flow); });
+  }
+  while (q_.step()) {
+  }
+
+  EsnSimResult r;
+  r.fct = fct_.summarize();
+  r.goodput_normalized = goodput_.normalized(measure_end_);
+  r.completed_flows = r.fct.completed_flows;
+  r.sim_end = q_.now();
+  return r;
+}
+
+}  // namespace sirius::esn

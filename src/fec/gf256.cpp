@@ -1,0 +1,39 @@
+#include "fec/gf256.hpp"
+
+#include <cassert>
+
+namespace sirius::fec {
+
+Gf256::Tables Gf256::make_tables() {
+  Tables t{};
+  std::uint32_t x = 1;
+  for (std::int32_t i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[x] = i;
+    x <<= 1;
+    if (x & 0x100u) x ^= 0x11d;
+  }
+  t.log[0] = -1;  // undefined; guarded by callers
+  return t;
+}
+
+const std::array<std::uint8_t, 255> Gf256::exp_ = Gf256::make_tables().exp;
+const std::array<std::int32_t, 256> Gf256::log_ = Gf256::make_tables().log;
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  return exp_[static_cast<std::size_t>((log_[a] - log_[b] + 255) % 255)];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t x) {
+  assert(x != 0);
+  return exp_[static_cast<std::size_t>((255 - log_[x]) % 255)];
+}
+
+std::int32_t Gf256::log(std::uint8_t x) {
+  assert(x != 0);
+  return log_[x];
+}
+
+}  // namespace sirius::fec

@@ -1,0 +1,208 @@
+#include "fec/reed_solomon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sirius::fec {
+namespace {
+
+using G = Gf256;
+
+// Polynomial helpers; coefficients are stored lowest-degree first.
+std::vector<std::uint8_t> poly_mul(const std::vector<std::uint8_t>& a,
+                                   const std::vector<std::uint8_t>& b) {
+  std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = G::add(out[i + j], G::mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::int32_t n, std::int32_t k) : n_(n), k_(k) {
+  assert(n_ > k_ && k_ > 0 && n_ <= 255);
+  assert((n_ - k_) % 2 == 0 && "parity count must be even (2t)");
+  // Generator g(x) = prod_{i=0}^{2t-1} (x - alpha^i).
+  generator_ = {1};
+  for (std::int32_t i = 0; i < n_ - k_; ++i) {
+    generator_ = poly_mul(generator_, {G::exp(i), 1});
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(
+    std::span<const std::uint8_t> data) const {
+  assert(static_cast<std::int32_t>(data.size()) == k_);
+  const std::int32_t parity = n_ - k_;
+  // Systematic encoding: remainder of data(x) * x^parity mod g(x),
+  // computed with an LFSR.
+  std::vector<std::uint8_t> rem(static_cast<std::size_t>(parity), 0);
+  for (std::int32_t i = k_ - 1; i >= 0; --i) {
+    const std::uint8_t feedback =
+        G::add(data[static_cast<std::size_t>(i)], rem.back());
+    for (std::int32_t j = parity - 1; j > 0; --j) {
+      rem[static_cast<std::size_t>(j)] =
+          G::add(rem[static_cast<std::size_t>(j - 1)],
+                 G::mul(feedback, generator_[static_cast<std::size_t>(j)]));
+    }
+    rem[0] = G::mul(feedback, generator_[0]);
+  }
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  // Parity appended highest-degree-first so that the codeword viewed as a
+  // polynomial is c(x) = data(x) * x^parity + rem(x).
+  out.insert(out.end(), rem.rbegin(), rem.rend());
+  return out;
+}
+
+std::vector<std::uint8_t> ReedSolomon::syndromes(
+    std::span<const std::uint8_t> received) const {
+  // Codeword symbol order: received[0] is the highest-degree coefficient
+  // after our append order: c = [d_{k-1} ... d_0 | p_{2t-1} ... p_0] read
+  // as coefficients n-1 ... 0. Our encode() put data in natural order, so
+  // coefficient of x^{n-1-i} is received[... ]; we simply evaluate with
+  // the matching convention below.
+  const std::int32_t parity = n_ - k_;
+  std::vector<std::uint8_t> s(static_cast<std::size_t>(parity), 0);
+  for (std::int32_t i = 0; i < parity; ++i) {
+    // S_i = c(alpha^i) with c's coefficients ordered as stored: data[j]
+    // is the coefficient of x^{parity + (j)} ... see encode(); evaluate
+    // directly.
+    std::uint8_t acc = 0;
+    // Parity part: received[k_ + m] is coefficient x^{parity-1-m}.
+    for (std::int32_t m = 0; m < parity; ++m) {
+      const std::uint8_t coef = received[static_cast<std::size_t>(k_ + m)];
+      acc = G::add(acc, G::mul(coef, G::exp(i * (parity - 1 - m))));
+    }
+    // Data part: received[j] is coefficient x^{parity + j}.
+    for (std::int32_t j = 0; j < k_; ++j) {
+      const std::uint8_t coef = received[static_cast<std::size_t>(j)];
+      acc = G::add(acc, G::mul(coef, G::exp(i * (parity + j))));
+    }
+    s[static_cast<std::size_t>(i)] = acc;
+  }
+  return s;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
+    std::span<const std::uint8_t> received) const {
+  assert(static_cast<std::int32_t>(received.size()) == n_);
+  last_corrections_ = 0;
+
+  const auto synd = syndromes(received);
+  if (std::all_of(synd.begin(), synd.end(),
+                  [](std::uint8_t v) { return v == 0; })) {
+    return std::vector<std::uint8_t>(received.begin(), received.begin() + k_);
+  }
+
+  // Berlekamp–Massey: find the error-locator polynomial sigma(x).
+  std::vector<std::uint8_t> sigma = {1};
+  std::vector<std::uint8_t> prev = {1};
+  std::uint8_t prev_discrepancy = 1;
+  std::int32_t m = 1;
+  std::int32_t errors = 0;
+  for (std::int32_t i = 0; i < n_ - k_; ++i) {
+    std::uint8_t d = synd[static_cast<std::size_t>(i)];
+    for (std::size_t j = 1; j < sigma.size(); ++j) {
+      if (static_cast<std::int32_t>(i) >= static_cast<std::int32_t>(j)) {
+        d = G::add(d, G::mul(sigma[j],
+                             synd[static_cast<std::size_t>(i) - j]));
+      }
+    }
+    if (d == 0) {
+      ++m;
+      continue;
+    }
+    if (2 * errors <= i) {
+      auto old_sigma = sigma;
+      // sigma -= (d / prev_d) * x^m * prev
+      const std::uint8_t scale = G::div(d, prev_discrepancy);
+      std::vector<std::uint8_t> shift(static_cast<std::size_t>(m), 0);
+      shift.insert(shift.end(), prev.begin(), prev.end());
+      if (shift.size() > sigma.size()) sigma.resize(shift.size(), 0);
+      for (std::size_t j = 0; j < shift.size(); ++j) {
+        sigma[j] = G::add(sigma[j], G::mul(scale, shift[j]));
+      }
+      errors = i + 1 - errors;
+      prev = old_sigma;
+      prev_discrepancy = d;
+      m = 1;
+    } else {
+      const std::uint8_t scale = G::div(d, prev_discrepancy);
+      std::vector<std::uint8_t> shift(static_cast<std::size_t>(m), 0);
+      shift.insert(shift.end(), prev.begin(), prev.end());
+      if (shift.size() > sigma.size()) sigma.resize(shift.size(), 0);
+      for (std::size_t j = 0; j < shift.size(); ++j) {
+        sigma[j] = G::add(sigma[j], G::mul(scale, shift[j]));
+      }
+      ++m;
+    }
+  }
+  while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+  const auto num_errors = static_cast<std::int32_t>(sigma.size()) - 1;
+  if (num_errors > t()) return std::nullopt;
+
+  // Chien search: roots of sigma give error positions. With our symbol
+  // ordering, position j (coefficient power p_j) has locator alpha^{p_j}.
+  std::vector<std::int32_t> error_pows;
+  for (std::int32_t p = 0; p < n_; ++p) {
+    // Is alpha^{-p} a root? Equivalent: sigma(alpha^{-p}) == 0.
+    if (G::poly_eval(sigma, G::exp(-p)) == 0) {
+      error_pows.push_back(p);
+    }
+  }
+  if (static_cast<std::int32_t>(error_pows.size()) != num_errors) {
+    return std::nullopt;  // locator does not split: uncorrectable
+  }
+
+  // Forney: error magnitudes from the evaluator omega = S * sigma mod
+  // x^{2t}.
+  std::vector<std::uint8_t> omega(static_cast<std::size_t>(n_ - k_), 0);
+  for (std::size_t i = 0; i < omega.size(); ++i) {
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j <= i && j < sigma.size(); ++j) {
+      acc = G::add(acc, G::mul(sigma[j], synd[i - j]));
+    }
+    omega[i] = acc;
+  }
+  // sigma'(x): formal derivative (odd-power coefficients).
+  std::vector<std::uint8_t> sigma_deriv;
+  for (std::size_t j = 1; j < sigma.size(); j += 2) {
+    sigma_deriv.resize(j, 0);
+    sigma_deriv[j - 1] = sigma[j];
+  }
+  if (sigma_deriv.empty()) return std::nullopt;
+
+  std::vector<std::uint8_t> corrected(received.begin(), received.end());
+  for (const std::int32_t p : error_pows) {
+    const std::uint8_t x_inv = G::exp(-p);
+    // Forney with first consecutive root alpha^0: the magnitude carries an
+    // extra X_j = alpha^p factor.
+    const std::uint8_t num = G::mul(G::exp(p), G::poly_eval(omega, x_inv));
+    const std::uint8_t den = G::poly_eval(sigma_deriv, x_inv);
+    if (den == 0) return std::nullopt;
+    const std::uint8_t magnitude = G::div(num, den);
+    // Map coefficient power p back to the storage index (see syndromes()):
+    // data[j] holds power parity+j; parity[m] holds power parity-1-m.
+    const std::int32_t parity = n_ - k_;
+    std::int32_t idx;
+    if (p >= parity) {
+      idx = p - parity;  // data region
+    } else {
+      idx = k_ + (parity - 1 - p);  // parity region
+    }
+    corrected[static_cast<std::size_t>(idx)] =
+        G::add(corrected[static_cast<std::size_t>(idx)], magnitude);
+  }
+  // Verify: recompute syndromes on the corrected word.
+  const auto check = syndromes(corrected);
+  if (!std::all_of(check.begin(), check.end(),
+                   [](std::uint8_t v) { return v == 0; })) {
+    return std::nullopt;
+  }
+  last_corrections_ = num_errors;
+  return std::vector<std::uint8_t>(corrected.begin(), corrected.begin() + k_);
+}
+
+}  // namespace sirius::fec

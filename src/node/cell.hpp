@@ -1,0 +1,37 @@
+// The fixed-size transmission unit of the Sirius data plane (§4.2).
+//
+// All optical transmissions are fixed-size "cells" (562 B total by default,
+// filling the 90 ns data portion of a 100 ns slot at 50 Gbps). A flow is
+// segmented into cells at the source; the last cell may be padded, which is
+// exactly the overhead Fig. 13 quantifies for small flows.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace sirius::node {
+
+struct Cell {
+  FlowId flow = 0;
+  std::int32_t seq = 0;          ///< 0-based cell index within the flow
+  NodeId dst_node = 0;           ///< destination rack/node
+  std::int32_t dst_server = 0;   ///< destination server (global index)
+  std::int32_t payload_bytes = 0;///< application bytes carried (<= capacity)
+};
+
+/// Number of cells needed for `size` bytes with `capacity` bytes per cell.
+inline std::int64_t cells_for(DataSize size, DataSize capacity) {
+  return (size.in_bytes() + capacity.in_bytes() - 1) / capacity.in_bytes();
+}
+
+/// Application bytes carried by cell `seq` of a `size`-byte flow.
+inline std::int32_t payload_of(DataSize size, DataSize capacity,
+                               std::int32_t seq) {
+  const std::int64_t total = cells_for(size, capacity);
+  if (seq + 1 < total) return static_cast<std::int32_t>(capacity.in_bytes());
+  return static_cast<std::int32_t>(size.in_bytes() -
+                                   capacity.in_bytes() * (total - 1));
+}
+
+}  // namespace sirius::node

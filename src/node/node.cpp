@@ -1,0 +1,157 @@
+#include "node/node.hpp"
+
+#include <cassert>
+
+namespace sirius::node {
+
+Node::Node(NodeId self, const cc::RequestGrantConfig& cc_cfg,
+           DataSize cell_capacity)
+    : self_(self), cc_(self, cc_cfg), cell_capacity_(cell_capacity) {
+  vq_.resize(static_cast<std::size_t>(cc_cfg.nodes));
+  fq_.resize(static_cast<std::size_t>(cc_cfg.nodes));
+  per_dst_.resize(static_cast<std::size_t>(cc_cfg.nodes));
+}
+
+void Node::add_flow(const LocalFlow& f) {
+  assert(f.total_cells > 0);
+  local_.push_back(f);
+  const std::size_t idx = local_.size() - 1;
+  per_dst_[static_cast<std::size_t>(f.dst_node)].push_back(idx);
+  spray_ready_.push_back(idx);
+  ++unfinished_flows_;
+}
+
+std::vector<NodeId> Node::pending_cell_dsts(Time now, Time cell_interval,
+                                            std::size_t limit) const {
+  std::vector<NodeId> out;
+  out.reserve(limit);
+
+  // Bucket pending flows by source server (buckets keep flow arrival
+  // order; each entry is (destination, pending cell count)).
+  std::vector<std::int32_t> server_ids;
+  std::vector<std::deque<std::pair<NodeId, std::int64_t>>> buckets;
+  for (std::size_t i = first_unfinished_; i < local_.size(); ++i) {
+    const LocalFlow& f = local_[i];
+    if (f.exhausted()) continue;
+    const std::int64_t n = f.pending(now, cell_interval);
+    if (n <= 0) continue;
+    std::size_t b = 0;
+    while (b < server_ids.size() && server_ids[b] != f.src_server) ++b;
+    if (b == server_ids.size()) {
+      server_ids.push_back(f.src_server);
+      buckets.emplace_back();
+    }
+    buckets[b].push_back({f.dst_node, n});
+  }
+
+  // Two-level round-robin: one cell per server per pass, rotating over
+  // each server's flows.
+  bool any = !buckets.empty();
+  while (any && out.size() < limit) {
+    any = false;
+    for (auto& bucket : buckets) {
+      if (bucket.empty()) continue;
+      auto [dst, n] = bucket.front();
+      bucket.pop_front();
+      out.push_back(dst);
+      if (--n > 0) bucket.push_back({dst, n});
+      if (out.size() >= limit) return out;
+      any = any || !bucket.empty();
+    }
+  }
+  return out;
+}
+
+LocalFlow* Node::oldest_pending_flow_for(NodeId dst, Time now,
+                                         Time cell_interval) {
+  auto& q = per_dst_[static_cast<std::size_t>(dst)];
+  // Drop exhausted heads, then serve the first flow with a pending cell and
+  // rotate it to the back: cells of concurrent flows to the same
+  // destination are interleaved in the rack's FIFO virtual queue (they
+  // arrive interleaved from their servers), so service alternates across
+  // flows instead of running one flow to completion.
+  while (!q.empty() && local_[q.front()].exhausted()) q.pop_front();
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    const std::size_t idx = q.front();
+    q.pop_front();
+    LocalFlow& f = local_[idx];
+    if (f.exhausted()) continue;
+    q.push_back(idx);
+    if (f.pending(now, cell_interval) > 0) return &f;
+  }
+  return nullptr;
+}
+
+Cell Node::cut_cell(LocalFlow& f) {
+  Cell c;
+  c.flow = f.id;
+  c.seq = static_cast<std::int32_t>(f.moved_cells);
+  c.dst_node = f.dst_node;
+  c.dst_server = f.dst_server;
+  c.payload_bytes = payload_of(f.size, cell_capacity_, c.seq);
+  ++f.moved_cells;
+  if (f.exhausted()) {
+    --unfinished_flows_;
+    // Advance the FIFO cursor past the exhausted prefix.
+    while (first_unfinished_ < local_.size() &&
+           local_[first_unfinished_].exhausted()) {
+      ++first_unfinished_;
+    }
+  }
+  return c;
+}
+
+std::optional<Cell> Node::take_cell_for(NodeId dst, Time now,
+                                        Time cell_interval) {
+  LocalFlow* f = oldest_pending_flow_for(dst, now, cell_interval);
+  if (f == nullptr) return std::nullopt;
+  return cut_cell(*f);
+}
+
+std::optional<Cell> Node::take_any_cell(Time now, Time cell_interval) {
+  // Round-robin over flows so concurrent flows share the uplinks fairly
+  // (this is the "ideal" per-flow service discipline).
+  for (std::size_t tries = spray_ready_.size(); tries > 0; --tries) {
+    const std::size_t idx = spray_ready_.front();
+    spray_ready_.pop_front();
+    LocalFlow& f = local_[idx];
+    if (f.exhausted()) continue;  // drop from rotation
+    if (f.pending(now, cell_interval) > 0) {
+      Cell c = cut_cell(f);
+      if (!f.exhausted()) spray_ready_.push_back(idx);
+      return c;
+    }
+    spray_ready_.push_back(idx);  // paced out; retry later
+  }
+  return std::nullopt;
+}
+
+void Node::push_vq(NodeId intermediate, const Cell& c) {
+  vq_[static_cast<std::size_t>(intermediate)].push_back(c);
+  gauge_.add(cell_capacity_);
+}
+
+std::optional<Cell> Node::pop_vq(NodeId intermediate) {
+  auto& q = vq_[static_cast<std::size_t>(intermediate)];
+  if (q.empty()) return std::nullopt;
+  Cell c = q.front();
+  q.pop_front();
+  gauge_.remove(cell_capacity_);
+  return c;
+}
+
+void Node::push_fq(NodeId dst, const Cell& c) {
+  fq_[static_cast<std::size_t>(dst)].push_back(c);
+  gauge_.add(cell_capacity_);
+}
+
+std::optional<Cell> Node::pop_fq(NodeId dst) {
+  auto& q = fq_[static_cast<std::size_t>(dst)];
+  if (q.empty()) return std::nullopt;
+  Cell c = q.front();
+  q.pop_front();
+  gauge_.remove(cell_capacity_);
+  return c;
+}
+
+}  // namespace sirius::node

@@ -1,0 +1,43 @@
+// Per-flow reorder buffer at the receiver (§4.2 "Cell reordering").
+//
+// Cells of one flow take different intermediate hops and can arrive out of
+// order. The receiver buffers out-of-order cells and releases the in-order
+// prefix to the application. Because congestion control bounds intermediate
+// queuing to Q cells, the reordering window — and hence the buffer — stays
+// small (Fig. 10d).
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "common/units.hpp"
+
+namespace sirius::node {
+
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::int64_t total_cells)
+      : total_cells_(total_cells) {}
+
+  /// Records arrival of cell `seq` carrying `bytes` application bytes.
+  /// Returns the number of cells newly released in order (>= 1 exactly when
+  /// `seq` extended the in-order prefix).
+  std::int64_t on_arrival(std::int32_t seq, std::int32_t bytes);
+
+  bool complete() const { return next_expected_ >= total_cells_; }
+  std::int64_t next_expected() const { return next_expected_; }
+  std::int64_t buffered_cells() const {
+    return static_cast<std::int64_t>(pending_.size());
+  }
+  /// Peak bytes ever held out of order.
+  std::int64_t peak_buffered_bytes() const { return peak_bytes_; }
+
+ private:
+  std::int64_t total_cells_;
+  std::int64_t next_expected_ = 0;
+  std::set<std::int32_t> pending_;  // out-of-order seqs beyond the prefix
+  std::int64_t buffered_bytes_ = 0;
+  std::int64_t peak_bytes_ = 0;
+};
+
+}  // namespace sirius::node

@@ -1,0 +1,3 @@
+#include "optical/awgr.hpp"
+
+// Header-only; this TU anchors the library.

@@ -1,0 +1,51 @@
+// Arrayed Waveguide Grating Router (AWGR) — the passive core of Sirius.
+//
+// An AWGR with P ports routes wavelength w arriving at input port i to
+// output port (i + w) mod P (cyclic diffraction, Fig. 3a of the paper).
+// It is completely passive: no power, no state, no reconfiguration — the
+// routing function below is the entire device.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace sirius::optical {
+
+/// A P-port cyclic AWGR.
+class Awgr {
+ public:
+  /// `ports`: number of input (= output) ports. `insertion_loss_db`:
+  /// optical power lost end to end through the grating (<= 6 dB for
+  /// 100-port devices per §4.5).
+  explicit Awgr(std::int32_t ports, double insertion_loss_db = 6.0)
+      : ports_(ports), insertion_loss_db_(insertion_loss_db) {
+    assert(ports > 0);
+  }
+
+  std::int32_t ports() const { return ports_; }
+  double insertion_loss_db() const { return insertion_loss_db_; }
+
+  /// Output port for light of wavelength index `w` entering input `input`.
+  /// Implements the cyclic routing W[i][j] -> output (i + j) mod P.
+  std::int32_t route(std::int32_t input, WavelengthId w) const {
+    assert(input >= 0 && input < ports_);
+    assert(w >= 0);
+    return static_cast<std::int32_t>((input + w) % ports_);
+  }
+
+  /// The wavelength a sender on `input` must tune to so its light exits on
+  /// `output` — inverse of route(). route(input, λ) == output always holds.
+  WavelengthId wavelength_for(std::int32_t input, std::int32_t output) const {
+    assert(input >= 0 && input < ports_);
+    assert(output >= 0 && output < ports_);
+    return static_cast<WavelengthId>((output - input + ports_) % ports_);
+  }
+
+ private:
+  std::int32_t ports_;
+  double insertion_loss_db_;
+};
+
+}  // namespace sirius::optical

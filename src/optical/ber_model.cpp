@@ -1,0 +1,62 @@
+#include "optical/ber_model.hpp"
+
+#include <cmath>
+
+namespace sirius::optical {
+namespace {
+
+double ber_from_q(double q) {
+  return 0.5 * std::erfc(q / std::sqrt(2.0));
+}
+
+// Inverse of ber_from_q via bisection (monotone decreasing in q).
+double q_from_ber(double ber) {
+  double lo = 0.0, hi = 20.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ber_from_q(mid) > ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+BerModel::BerModel(BerModelConfig cfg) : cfg_(cfg) {
+  const double q_at_sens = q_from_ber(cfg_.fec_threshold);
+  const double sens_mw = cfg_.sensitivity.in_mw();
+  q_per_mw_ = q_at_sens / sens_mw;
+}
+
+double BerModel::q_factor(OpticalPower received) const {
+  const double penalty_db =
+      cfg_.channel_penalty_db + cfg_.modulation_penalty_db;
+  const double mw = received.attenuated(penalty_db).in_mw();
+  return q_per_mw_ * mw;
+}
+
+double BerModel::pre_fec_ber(OpticalPower received) const {
+  return ber_from_q(q_factor(received));
+}
+
+double BerModel::post_fec_ber(OpticalPower received) const {
+  const double pre = pre_fec_ber(received);
+  if (pre >= 0.5) return 0.5;
+  // Hard-decision RS-style cliff: below threshold the output BER collapses;
+  // we model it as (pre/threshold)^t with a high correction exponent, then
+  // clamp to a 1e-15 floor.
+  constexpr double kExponent = 8.0;
+  const double post = std::pow(pre / cfg_.fec_threshold, kExponent) * 1e-13;
+  if (post < 1e-15) return 1e-15;
+  if (post > 0.5) return 0.5;
+  return post;
+}
+
+bool BerModel::error_free(OpticalPower received) const {
+  return post_fec_ber(received) < 1e-12;
+}
+
+}  // namespace sirius::optical

@@ -1,0 +1,47 @@
+#include "optical/crosstalk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sirius::optical {
+
+double CrosstalkModel::total_crosstalk_ratio(std::int32_t ports) const {
+  assert(ports >= 1);
+  if (ports <= 1) return 0.0;
+  const double adj = std::pow(10.0, -cfg_.adjacent_isolation_db / 10.0);
+  const double far = std::pow(10.0, -cfg_.nonadjacent_isolation_db / 10.0);
+  const std::int32_t adjacent = std::min(2, ports - 1);
+  const std::int32_t nonadjacent = ports - 1 - adjacent;
+  return adjacent * adj + nonadjacent * far;
+}
+
+double CrosstalkModel::total_crosstalk_db(std::int32_t ports) const {
+  const double r = total_crosstalk_ratio(ports);
+  return r > 0.0 ? -10.0 * std::log10(r) : 300.0;
+}
+
+double CrosstalkModel::power_penalty_db(std::int32_t ports) const {
+  const double eps = total_crosstalk_ratio(ports);
+  // Interferometric (beat-noise) bound: the crosstalk field beats against
+  // the signal field, so the penalty grows with the field ratio sqrt(eps).
+  const double arg = 1.0 - 2.0 * std::sqrt(eps);
+  if (arg <= 0.05) return 20.0;  // link effectively closed
+  return std::min(20.0, -10.0 * std::log10(arg));
+}
+
+std::int32_t CrosstalkModel::max_ports_within_penalty(double margin_db,
+                                                      std::int32_t limit) const {
+  assert(margin_db > 0.0);
+  std::int32_t best = 1;
+  for (std::int32_t p = 2; p <= limit; ++p) {
+    if (power_penalty_db(p) <= margin_db) {
+      best = p;
+    } else {
+      break;  // penalty is monotone in port count
+    }
+  }
+  return best;
+}
+
+}  // namespace sirius::optical

@@ -1,0 +1,58 @@
+// AWGR crosstalk model — what ultimately limits grating port count.
+//
+// A real AWGR leaks a little of every other input's light into each
+// output: adjacent channels at the adjacent-channel isolation level,
+// far channels at the (better) non-adjacent level. In Sirius every input
+// port is active in every slot (the schedule is a full permutation), so a
+// P-port grating superimposes P-1 interferers on each output. The
+// aggregate in-band crosstalk behaves like noise and erodes the receiver's
+// effective sensitivity; this model turns (port count, isolation) into a
+// dB power penalty that can be fed straight into BerModelConfig's
+// channel_penalty_db — connecting the §3.1 scaling claims (100-port
+// commercial, 512-port demonstrated) to the §4.5 link budget.
+#pragma once
+
+#include <cstdint>
+
+#include "optical/power.hpp"
+
+namespace sirius::optical {
+
+struct CrosstalkConfig {
+  /// Leakage from each of the two spectrally adjacent channels, in dB
+  /// below the signal (good chip-scale AWGRs reach ~27 dB).
+  double adjacent_isolation_db = 27.0;
+  /// Leakage from every non-adjacent channel (typical: ~37 dB).
+  double nonadjacent_isolation_db = 37.0;
+};
+
+class CrosstalkModel {
+ public:
+  explicit CrosstalkModel(CrosstalkConfig cfg = {}) : cfg_(cfg) {}
+
+  const CrosstalkConfig& config() const { return cfg_; }
+
+  /// Total crosstalk power relative to the signal (linear ratio) at one
+  /// output of a `ports`-port AWGR with all inputs active.
+  double total_crosstalk_ratio(std::int32_t ports) const;
+
+  /// Same, in dB below the signal (positive number = that many dB down).
+  double total_crosstalk_db(std::int32_t ports) const;
+
+  /// Receiver power penalty in dB: the extra signal power needed to keep
+  /// the same decision-point SNR despite interferer power eps (standard
+  /// coherent-crosstalk penalty approximation -5*log10(1 - eps * Q^2...)
+  /// simplified to the interferometric bound -10*log10(1 - 2*sqrt(eps))
+  /// clamped at a practical ceiling).
+  double power_penalty_db(std::int32_t ports) const;
+
+  /// Largest port count whose penalty stays within `margin_db` — the
+  /// crosstalk-limited grating radix for a given link budget margin.
+  std::int32_t max_ports_within_penalty(double margin_db,
+                                        std::int32_t limit = 4'096) const;
+
+ private:
+  CrosstalkConfig cfg_;
+};
+
+}  // namespace sirius::optical

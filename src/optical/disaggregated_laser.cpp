@@ -1,0 +1,96 @@
+#include "optical/disaggregated_laser.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sirius::optical {
+
+FixedBankLaser::FixedBankLaser(std::int32_t wavelengths,
+                               const SoaConfig& soa_cfg, Rng& rng,
+                               double fixed_laser_watts)
+    : selector_(wavelengths, soa_cfg, rng),
+      fixed_laser_watts_(fixed_laser_watts) {}
+
+double FixedBankLaser::power_watts() const {
+  // All fixed lasers run continuously; one SOA is driven at a time.
+  const double soa_w =
+      selector_.selected() >= 0
+          ? selector_.gate(selector_.selected()).power_mw() * 1e-3
+          : 0.0;
+  return static_cast<double>(selector_.size()) * fixed_laser_watts_ + soa_w;
+}
+
+TunableBankLaser::TunableBankLaser(const DsdbrConfig& laser_cfg,
+                                   std::int32_t bank_size,
+                                   const SoaConfig& soa_cfg, Rng& rng)
+    : selector_(bank_size, soa_cfg, rng) {
+  assert(bank_size >= 2);
+  lasers_.reserve(static_cast<std::size_t>(bank_size));
+  for (std::int32_t i = 0; i < bank_size; ++i) lasers_.emplace_back(laser_cfg);
+}
+
+void TunableBankLaser::announce_next(WavelengthId w) {
+  // Pre-tune an idle laser to the upcoming wavelength. The settle happens
+  // off the datapath: by the time tune_to(w) is called a full slot later,
+  // the DSDBR has long settled (worst case 92 ns < 100 ns slot).
+  const std::int32_t idle =
+      (active_laser_ + 1) % static_cast<std::int32_t>(lasers_.size());
+  lasers_[static_cast<std::size_t>(idle)].tune_to(w);
+  prepared_laser_ = idle;
+  prepared_wavelength_ = w;
+}
+
+Time TunableBankLaser::tune_to(WavelengthId w) {
+  if (w == current_) {
+    last_pipelined_ = false;
+    return Time::zero();
+  }
+  if (prepared_laser_ >= 0 && prepared_wavelength_ == w) {
+    // Pipelined path: just flip the SOA selector to the pre-tuned laser.
+    last_pipelined_ = true;
+    active_laser_ = prepared_laser_;
+    prepared_laser_ = -1;
+    current_ = w;
+    return selector_.select(active_laser_);
+  }
+  // Unannounced transition: the active laser must settle in-band.
+  last_pipelined_ = false;
+  Time settle = lasers_[static_cast<std::size_t>(active_laser_)].tune_to(w);
+  if (selector_.selected() != active_laser_) {
+    settle = std::max(settle, selector_.select(active_laser_));
+  }
+  current_ = w;
+  return settle;
+}
+
+Time TunableBankLaser::worst_case_latency() const {
+  // With announcements the worst case is the SOA switch; without, the DSDBR.
+  return lasers_.front().config().drive == DriveMode::kDampened
+             ? std::max(selector_.worst_case_switch(),
+                        Time::zero())  // pipelined operation
+             : lasers_.front().config().off_the_shelf_worst_case;
+}
+
+double TunableBankLaser::power_watts() const {
+  // Each tunable laser (including the spare) draws ~3.8 W (§5); one SOA on.
+  constexpr double kTunableLaserWatts = 3.8;
+  const double soa_w =
+      selector_.selected() >= 0
+          ? selector_.gate(selector_.selected()).power_mw() * 1e-3
+          : 0.0;
+  return static_cast<double>(lasers_.size()) * kTunableLaserWatts + soa_w;
+}
+
+CombLaser::CombLaser(std::int32_t wavelengths, const SoaConfig& soa_cfg,
+                     Rng& rng, double comb_watts)
+    : selector_(wavelengths, soa_cfg, rng), comb_watts_(comb_watts) {}
+
+double CombLaser::power_watts() const {
+  const double soa_w =
+      selector_.selected() >= 0
+          ? selector_.gate(selector_.selected()).power_mw() * 1e-3
+          : 0.0;
+  return comb_watts_ + soa_w;
+}
+
+}  // namespace sirius::optical

@@ -1,0 +1,107 @@
+// Disaggregated tunable lasers (§3.3, Fig. 4): wavelength *generation* is
+// separated from wavelength *selection*, removing the span-dependent settle
+// time of a standard tunable laser. Three instantiations are modelled, as
+// implemented by the paper:
+//
+//  1. FixedBankLaser — a bank of W fixed-wavelength lasers feeding an SOA
+//     selector. Tuning = one SOA off + one SOA on (<912 ps worst case);
+//     scales poorly in laser count/power.
+//  2. TunableBankLaser — a small bank of DSDBR lasers used in a pipeline:
+//     while laser A emits λi, laser B pre-tunes to λj; switching is then an
+//     SOA selector event. Needs the wavelength sequence in advance — which
+//     Sirius' static schedule provides — and a spare laser for redundancy.
+//  3. CombLaser — a frequency comb generating all wavelengths at once plus
+//     the SOA selector; higher power today but single-chip.
+//
+// All variants expose the same `TunableSource` interface so transceiver and
+// simulator code is agnostic to the laser technology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "optical/dsdbr_laser.hpp"
+#include "optical/soa_gate.hpp"
+#include "optical/tunable_source.hpp"
+
+namespace sirius::optical {
+
+/// Variant 1: fixed laser bank + SOA selector (the fabricated chip,
+/// Fig. 3d: 19 SOAs in InP, worst-case tuning 912 ps).
+class FixedBankLaser final : public TunableSource {
+ public:
+  FixedBankLaser(std::int32_t wavelengths, const SoaConfig& soa_cfg, Rng& rng,
+                 double fixed_laser_watts = 1.0);
+
+  std::int32_t wavelengths() const override { return selector_.size(); }
+  WavelengthId current() const override { return selector_.selected(); }
+  Time tune_to(WavelengthId w) override { return selector_.select(w); }
+  Time worst_case_latency() const override {
+    return selector_.worst_case_switch();
+  }
+  double power_watts() const override;
+
+  const SoaArray& selector() const { return selector_; }
+
+ private:
+  SoaArray selector_;
+  double fixed_laser_watts_;
+};
+
+/// Variant 2: bank of `bank_size` standard tunable lasers operated in a
+/// pipeline behind an SOA selector. With the transition sequence known in
+/// advance (Sirius' static schedule), the DSDBR settle time is hidden and
+/// only the SOA switch remains; without an announcement the full DSDBR
+/// latency is paid.
+class TunableBankLaser final : public TunableSource {
+ public:
+  TunableBankLaser(const DsdbrConfig& laser_cfg, std::int32_t bank_size,
+                   const SoaConfig& soa_cfg, Rng& rng);
+
+  std::int32_t wavelengths() const override {
+    return lasers_.front().wavelengths();
+  }
+  WavelengthId current() const override { return current_; }
+  void announce_next(WavelengthId w) override;
+  Time tune_to(WavelengthId w) override;
+  Time worst_case_latency() const override;
+  double power_watts() const override;
+
+  std::int32_t bank_size() const {
+    return static_cast<std::int32_t>(lasers_.size());
+  }
+  /// True if the last tune_to() was served from a pre-tuned laser.
+  bool last_tune_was_pipelined() const { return last_pipelined_; }
+
+ private:
+  std::vector<DsdbrLaser> lasers_;
+  SoaArray selector_;  // one gate per laser in the bank
+  std::int32_t active_laser_ = 0;
+  std::int32_t prepared_laser_ = -1;
+  WavelengthId prepared_wavelength_ = -1;
+  WavelengthId current_ = -1;
+  bool last_pipelined_ = false;
+};
+
+/// Variant 3: frequency-comb source + SOA selector. Tuning is a pure SOA
+/// event; the comb draws constant (and today, high) power.
+class CombLaser final : public TunableSource {
+ public:
+  CombLaser(std::int32_t wavelengths, const SoaConfig& soa_cfg, Rng& rng,
+            double comb_watts = 10.0);
+
+  std::int32_t wavelengths() const override { return selector_.size(); }
+  WavelengthId current() const override { return selector_.selected(); }
+  Time tune_to(WavelengthId w) override { return selector_.select(w); }
+  Time worst_case_latency() const override {
+    return selector_.worst_case_switch();
+  }
+  double power_watts() const override;
+
+ private:
+  SoaArray selector_;
+  double comb_watts_;
+};
+
+}  // namespace sirius::optical

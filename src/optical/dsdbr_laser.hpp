@@ -1,0 +1,89 @@
+// DSDBR tunable laser model (§3.2).
+//
+// A standard tunable laser couples wavelength *generation* (gain section)
+// and *selection* (grating section). Injecting tuning current perturbs the
+// gain section, so the output "rings" across neighbouring wavelengths
+// before settling; the farther apart source and destination wavelengths
+// are, the larger the current step and the longer the settle time.
+//
+// The paper reports three operating points that this model reproduces:
+//  * off-the-shelf drive electronics: ~10 ms tuning latency,
+//  * custom dampened drive (overshoot/undershoot current staircase):
+//    median 14 ns, worst-case 92 ns across all 12,432 ordered pairs of
+//    112 wavelengths,
+//  * and it motivates the disaggregated designs that remove the span
+//    dependence entirely (see disaggregated_laser.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "optical/power.hpp"
+#include "optical/tunable_source.hpp"
+
+namespace sirius::optical {
+
+/// Drive electronics for a DSDBR laser.
+enum class DriveMode {
+  kOffTheShelf,  ///< single current step; millisecond settling
+  kDampened,     ///< staircase overshoot/undershoot drive; nanoseconds
+};
+
+struct DsdbrConfig {
+  std::int32_t wavelengths = 112;         ///< tuning range (C-band, 50 GHz)
+  DriveMode drive = DriveMode::kDampened;
+  /// Worst-case dampened settle time (at full span, max ringing).
+  Time dampened_worst_case = Time::ps(92'000);
+  /// Off-the-shelf drive settle time at full span.
+  Time off_the_shelf_worst_case = Time::ms(10);
+  OpticalPower output_power = OpticalPower::dbm(16.0);  ///< §4.5: 16 dBm
+};
+
+/// One sample of the ringing transient: wavelength error (in channel
+/// spacings) at a time offset after the tuning current change.
+struct RingingSample {
+  Time at;
+  double wavelength_error;  ///< 0 when settled on the target channel
+};
+
+/// Deterministic DSDBR model: tuning latency as a function of the
+/// (source, destination) wavelength pair, plus the ringing transient.
+class DsdbrLaser final : public TunableSource {
+ public:
+  explicit DsdbrLaser(DsdbrConfig cfg = {});
+
+  const DsdbrConfig& config() const { return cfg_; }
+  std::int32_t wavelengths() const override { return cfg_.wavelengths; }
+  WavelengthId current() const override { return current_; }
+  WavelengthId current_wavelength() const { return current_; }
+  /// A tunable laser draws ~3.8 W versus ~1 W for a fixed laser (§5).
+  double power_watts() const override { return 3.8; }
+
+  /// Settle time for tuning from `from` to `to`. Deterministic per pair:
+  /// grows as span^1.5 (larger current step -> longer ringing) with a
+  /// per-pair ringing wobble, capped at the configured worst case.
+  Time tuning_latency(WavelengthId from, WavelengthId to) const;
+
+  /// Retunes the laser; returns the settle time consumed.
+  Time tune_to(WavelengthId to) override;
+
+  /// The ringing transient for a tuning event: a damped oscillation of the
+  /// output wavelength around the target, sampled every `step`. Mirrors the
+  /// behaviour the dampened drive suppresses (§3.2).
+  std::vector<RingingSample> ringing_trace(WavelengthId from, WavelengthId to,
+                                           Time step) const;
+
+  /// Largest tuning_latency over all ordered pairs (12,432 for 112 channels).
+  Time worst_case_latency() const override;
+  /// Median tuning_latency over all ordered pairs.
+  Time median_latency() const;
+
+ private:
+  double pair_wobble(WavelengthId from, WavelengthId to) const;
+
+  DsdbrConfig cfg_;
+  WavelengthId current_ = 0;
+};
+
+}  // namespace sirius::optical

@@ -1,0 +1,21 @@
+#include "optical/link_budget.hpp"
+
+namespace sirius::optical {
+
+std::int32_t LinkBudget::max_sharing_degree(OpticalPower laser) const {
+  const OpticalPower need = required_launch_power();
+  if (laser < need) return 0;
+  // Doubling-free linear scan: sharing degrees are small (tens at most).
+  std::int32_t n = 1;
+  while (laser.split(n + 1) >= need) ++n;
+  return n;
+}
+
+std::int32_t LinkBudget::lasers_needed(std::int32_t uplinks,
+                                       OpticalPower laser) const {
+  const std::int32_t share = max_sharing_degree(laser);
+  if (share <= 0) return -1;  // link cannot be closed at all
+  return (uplinks + share - 1) / share;
+}
+
+}  // namespace sirius::optical

@@ -1,0 +1,66 @@
+// End-to-end optical link budget (§4.5 "Laser sharing").
+//
+// The paper's numbers: receiver needs -8 dBm for post-FEC error-free
+// operation; a 100-port grating loses up to 6 dB; coupling + modulator
+// losses add 7 dB; a 2 dB margin is kept. Hence a laser must deliver
+// 7 dBm per transceiver, and a 16 dBm laser can be split across 8
+// transceivers.
+#pragma once
+
+#include <cstdint>
+
+#include "optical/power.hpp"
+
+namespace sirius::optical {
+
+/// Loss/requirement inventory for one Sirius lightpath.
+struct LinkBudgetConfig {
+  double grating_insertion_loss_db = 6.0;  ///< AWGR worst case (100 ports)
+  double coupling_modulator_loss_db = 7.0; ///< fiber coupling + modulator
+  double margin_db = 2.0;                  ///< engineering margin
+  OpticalPower receiver_sensitivity = OpticalPower::dbm(-8.0);
+};
+
+/// Computes per-path requirements and the laser-sharing degree.
+class LinkBudget {
+ public:
+  explicit LinkBudget(LinkBudgetConfig cfg = {}) : cfg_(cfg) {}
+
+  const LinkBudgetConfig& config() const { return cfg_; }
+
+  /// Total optical loss along the lightpath plus margin, in dB.
+  double total_loss_db() const {
+    return cfg_.grating_insertion_loss_db + cfg_.coupling_modulator_loss_db +
+           cfg_.margin_db;
+  }
+
+  /// Minimum launch power a transceiver needs so the receiver still sees
+  /// its sensitivity after all losses. (Paper: 7 dBm.)
+  OpticalPower required_launch_power() const {
+    return cfg_.receiver_sensitivity.amplified(total_loss_db());
+  }
+
+  /// Power arriving at the receiver given a per-transceiver launch power.
+  OpticalPower received_power(OpticalPower launch) const {
+    return launch.attenuated(total_loss_db());
+  }
+
+  /// True if `launch` closes the link.
+  bool closes(OpticalPower launch) const {
+    return received_power(launch) >= cfg_.receiver_sensitivity;
+  }
+
+  /// How many transceivers one laser of power `laser` can feed: the largest
+  /// n such that laser power split n ways still meets the launch
+  /// requirement. (Paper: a 16 dBm laser shared across 8 transceivers.)
+  std::int32_t max_sharing_degree(OpticalPower laser) const;
+
+  /// Tunable laser chips needed for a node with `uplinks` transceivers
+  /// given laser output power (Paper: 256 uplinks / 16 dBm -> 32 chips).
+  std::int32_t lasers_needed(std::int32_t uplinks, OpticalPower laser) const;
+
+ private:
+  LinkBudgetConfig cfg_;
+};
+
+}  // namespace sirius::optical

@@ -1,0 +1,3 @@
+#include "optical/power.hpp"
+
+// Header-only; this TU anchors the library.

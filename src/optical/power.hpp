@@ -1,0 +1,82 @@
+// Optical power arithmetic: dBm <-> mW, attenuation, and the ITU C-band
+// wavelength grid used by the tunable lasers.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace sirius::optical {
+
+/// Optical power. Stored in dBm; convertible to/from milliwatts.
+class OpticalPower {
+ public:
+  constexpr OpticalPower() = default;
+  static constexpr OpticalPower dbm(double v) { return OpticalPower{v}; }
+  static OpticalPower milliwatts(double mw) {
+    return OpticalPower{10.0 * std::log10(mw)};
+  }
+
+  constexpr double in_dbm() const { return dbm_; }
+  double in_mw() const { return std::pow(10.0, dbm_ / 10.0); }
+
+  /// Power after losing `loss_db` decibels (fiber, grating, coupling...).
+  constexpr OpticalPower attenuated(double loss_db) const {
+    return OpticalPower{dbm_ - loss_db};
+  }
+  /// Power after amplification by `gain_db` decibels (e.g. an SOA).
+  constexpr OpticalPower amplified(double gain_db) const {
+    return OpticalPower{dbm_ + gain_db};
+  }
+  /// Power split equally across `n` outputs (e.g. laser sharing): the
+  /// per-branch power drops by 10*log10(n) dB.
+  OpticalPower split(std::int32_t n) const {
+    return OpticalPower{dbm_ - 10.0 * std::log10(static_cast<double>(n))};
+  }
+
+  friend constexpr auto operator<=>(OpticalPower, OpticalPower) = default;
+
+ private:
+  constexpr explicit OpticalPower(double v) : dbm_(v) {}
+  double dbm_ = 0.0;
+};
+
+/// The ITU-T C-band DWDM grid: channels spaced `spacing_ghz` around 193.1 THz
+/// (~1552.52 nm). The paper's lasers tune across ~100-112 channels at 50 GHz
+/// spacing (§3.2).
+class WavelengthGrid {
+ public:
+  explicit WavelengthGrid(std::int32_t channels, double spacing_ghz = 50.0)
+      : channels_(channels), spacing_ghz_(spacing_ghz) {}
+
+  std::int32_t channels() const { return channels_; }
+  double spacing_ghz() const { return spacing_ghz_; }
+
+  /// Optical frequency of channel `w` in THz. Channel 0 sits at the low end
+  /// of the band so that the grid is centred on 193.1 THz.
+  double frequency_thz(WavelengthId w) const {
+    const double center = 193.1;
+    const double offset =
+        (static_cast<double>(w) - static_cast<double>(channels_ - 1) / 2.0) *
+        spacing_ghz_ * 1e-3;
+    return center + offset;
+  }
+
+  /// Vacuum wavelength of channel `w` in nanometres (c / f).
+  double wavelength_nm(WavelengthId w) const {
+    const double c_nm_per_s = 2.99792458e17;  // speed of light in nm/s
+    return c_nm_per_s / (frequency_thz(w) * 1e12);
+  }
+
+  /// Channel distance |i - j| — the quantity that drives DSDBR settle time.
+  std::int32_t span(WavelengthId i, WavelengthId j) const {
+    return std::abs(i - j);
+  }
+
+ private:
+  std::int32_t channels_;
+  double spacing_ghz_;
+};
+
+}  // namespace sirius::optical

@@ -1,0 +1,64 @@
+#include "optical/soa_gate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sirius::optical {
+namespace {
+
+Time draw_transition(Time median, Time worst, Rng& rng) {
+  // Log-normal spread with the worst case at roughly the 99.9th percentile;
+  // clamped so no device exceeds the measured worst case.
+  const double med = static_cast<double>(median.picoseconds());
+  const double cap = static_cast<double>(worst.picoseconds());
+  LogNormalDistribution d =
+      LogNormalDistribution::from_median_and_tail(med, cap / med);
+  const double v = std::min(d.sample(rng), cap);
+  return Time::ps(static_cast<std::int64_t>(v + 0.5));
+}
+
+}  // namespace
+
+SoaGate::SoaGate(const SoaConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      rise_(draw_transition(cfg.rise_median, cfg.rise_worst, rng)),
+      fall_(draw_transition(cfg.fall_median, cfg.fall_worst, rng)) {}
+
+Time SoaGate::turn_on() {
+  on_ = true;
+  return rise_;
+}
+
+Time SoaGate::turn_off() {
+  on_ = false;
+  return fall_;
+}
+
+SoaArray::SoaArray(std::int32_t n, const SoaConfig& cfg, Rng& rng) {
+  assert(n > 0);
+  gates_.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) gates_.emplace_back(cfg, rng);
+}
+
+Time SoaArray::select(std::int32_t i) {
+  assert(i >= 0 && i < size());
+  if (i == selected_) return Time::zero();
+  Time t = gates_[static_cast<std::size_t>(i)].turn_on();
+  if (selected_ >= 0) {
+    t = std::max(t, gates_[static_cast<std::size_t>(selected_)].turn_off());
+  }
+  selected_ = i;
+  return t;
+}
+
+Time SoaArray::worst_case_switch() const {
+  Time worst_rise = Time::zero();
+  Time worst_fall = Time::zero();
+  for (const auto& g : gates_) {
+    worst_rise = std::max(worst_rise, g.rise_time());
+    worst_fall = std::max(worst_fall, g.fall_time());
+  }
+  return std::max(worst_rise, worst_fall);
+}
+
+}  // namespace sirius::optical

@@ -1,0 +1,89 @@
+// Semiconductor Optical Amplifier (SOA) used as a nanosecond optical gate.
+//
+// In the disaggregated laser (§3.3 and Fig. 4), an array of SOAs selects one
+// wavelength out of a multi-wavelength source: the SOA for the selected
+// channel is driven on (amplifies), all others are off (absorb). Switching
+// wavelength λi -> λj means turning SOAi off and SOAj on; the tuning latency
+// is whichever of the two transitions finishes later.
+//
+// Our chip-level calibration targets Fig. 8a: the measured on (rise) and off
+// (fall) time distributions are sub-nanosecond with worst cases of 527 ps
+// and 912 ps respectively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/time.hpp"
+
+namespace sirius::optical {
+
+struct SoaConfig {
+  Time rise_median = Time::ps(250);  ///< typical turn-on (10->90 %)
+  Time fall_median = Time::ps(420);  ///< typical turn-off
+  Time rise_worst = Time::ps(527);   ///< Fig. 8a worst measured rise
+  Time fall_worst = Time::ps(912);   ///< Fig. 8a worst measured fall
+  double gain_db = 10.0;             ///< on-state gain
+  double extinction_db = 40.0;       ///< off-state suppression
+  double power_mw = 150.0;           ///< drive power when on
+};
+
+/// One SOA gate with stochastic (but clamped) switching transients.
+///
+/// Each device on a chip has a fixed characteristic rise/fall time drawn at
+/// construction from a log-normal spread around the configured medians —
+/// matching how Fig. 8a aggregates the per-device measurements across the
+/// 19-SOA chip — and clamped to the measured worst cases.
+class SoaGate {
+ public:
+  SoaGate(const SoaConfig& cfg, Rng& rng);
+
+  /// 10–90 % turn-on time of this device.
+  Time rise_time() const { return rise_; }
+  /// 90–10 % turn-off time of this device.
+  Time fall_time() const { return fall_; }
+
+  bool is_on() const { return on_; }
+  /// Drives the gate on; returns the transition time.
+  Time turn_on();
+  /// Drives the gate off; returns the transition time.
+  Time turn_off();
+
+  double gain_db() const { return cfg_.gain_db; }
+  double extinction_db() const { return cfg_.extinction_db; }
+  /// Electrical power drawn right now (only the on-state SOA consumes).
+  double power_mw() const { return on_ ? cfg_.power_mw : 0.0; }
+
+ private:
+  SoaConfig cfg_;
+  Time rise_;
+  Time fall_;
+  bool on_ = false;
+};
+
+/// A bank of `n` SOA gates on one chip, exactly one on at a time
+/// (the wavelength selector of the disaggregated laser).
+class SoaArray {
+ public:
+  SoaArray(std::int32_t n, const SoaConfig& cfg, Rng& rng);
+
+  std::int32_t size() const { return static_cast<std::int32_t>(gates_.size()); }
+  const SoaGate& gate(std::int32_t i) const { return gates_.at(static_cast<std::size_t>(i)); }
+
+  std::int32_t selected() const { return selected_; }
+
+  /// Switches the selection from the current gate to `i`; the old gate
+  /// falls while the new one rises concurrently, so the array is "tuned"
+  /// after max(fall_old, rise_new). Returns that switching time.
+  Time select(std::int32_t i);
+
+  /// Worst-case switching time over all ordered gate pairs.
+  Time worst_case_switch() const;
+
+ private:
+  std::vector<SoaGate> gates_;
+  std::int32_t selected_ = -1;
+};
+
+}  // namespace sirius::optical

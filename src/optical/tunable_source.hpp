@@ -1,0 +1,31 @@
+// Technology-agnostic interface of a fast-tunable light source, implemented
+// by the standard DSDBR laser and by every disaggregated design (§3.2-3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius::optical {
+
+class TunableSource {
+ public:
+  virtual ~TunableSource() = default;
+
+  /// Number of wavelengths the source can emit.
+  virtual std::int32_t wavelengths() const = 0;
+  /// Currently emitted wavelength (-1 before the first tune).
+  virtual WavelengthId current() const = 0;
+  /// Retunes to `w`; returns the time until the new wavelength is stable.
+  virtual Time tune_to(WavelengthId w) = 0;
+  /// Informs the source of the wavelength needed after the next one, so
+  /// pipelined designs can pre-tune. Default: ignored.
+  virtual void announce_next(WavelengthId /*w*/) {}
+  /// Worst-case tuning latency across all transitions.
+  virtual Time worst_case_latency() const = 0;
+  /// Electrical power drawn by the full source assembly, in watts.
+  virtual double power_watts() const = 0;
+};
+
+}  // namespace sirius::optical

@@ -1,0 +1,31 @@
+#include "phy/amplitude_cache.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace sirius::phy {
+
+AmplitudeCache::AmplitudeCache(std::int32_t senders, AmplitudeCacheConfig cfg)
+    : cfg_(cfg),
+      cached_dbm_(static_cast<std::size_t>(senders),
+                  std::numeric_limits<double>::quiet_NaN()) {}
+
+bool AmplitudeCache::cache_valid(NodeId sender,
+                                 optical::OpticalPower power) const {
+  const double cached = cached_dbm_.at(static_cast<std::size_t>(sender));
+  if (std::isnan(cached)) return false;
+  return std::fabs(cached - power.in_dbm()) <= cfg_.tolerance_db;
+}
+
+Time AmplitudeCache::on_burst(NodeId sender, optical::OpticalPower power) {
+  const bool valid = cache_valid(sender, power);
+  cached_dbm_.at(static_cast<std::size_t>(sender)) = power.in_dbm();
+  if (valid) {
+    ++fast_;
+    return cfg_.cached_settle;
+  }
+  ++cold_;
+  return cfg_.cold_settle;
+}
+
+}  // namespace sirius::phy

@@ -1,0 +1,57 @@
+// Amplitude caching (§4.5): the receive-side twin of phase caching.
+//
+// Each sender's light arrives at a different power (different fiber runs,
+// grating ports and laser shares). A conventional automatic gain control
+// loop needs microseconds to settle — unusable when the sender changes
+// every slot. Sirius caches the per-sender gain setting and re-applies it
+// instantly at each slot, refreshing the cached value from the burst's
+// measured amplitude; like the phase cache, the cyclic schedule keeps
+// every entry at most one epoch stale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "optical/power.hpp"
+
+namespace sirius::phy {
+
+struct AmplitudeCacheConfig {
+  /// Settle time when a valid cached gain is applied.
+  Time cached_settle = Time::ps(200);
+  /// Full AGC acquisition without a cache entry.
+  Time cold_settle = Time::us(1);
+  /// Receiver dynamic range the gain stage must land within, in dB: a
+  /// cached entry is useful while the sender's power moved less than this
+  /// since it was recorded.
+  double tolerance_db = 1.0;
+};
+
+/// Per-receiver gain cache across all possible senders.
+class AmplitudeCache {
+ public:
+  AmplitudeCache(std::int32_t senders, AmplitudeCacheConfig cfg = {});
+
+  const AmplitudeCacheConfig& config() const { return cfg_; }
+
+  /// A burst from `sender` arrives with `power`. Returns the gain-settle
+  /// time consumed, and refreshes the cache.
+  Time on_burst(NodeId sender, optical::OpticalPower power);
+
+  /// True if the cached gain for `sender` would still be within tolerance
+  /// for a burst at `power`.
+  bool cache_valid(NodeId sender, optical::OpticalPower power) const;
+
+  std::int64_t fast_settles() const { return fast_; }
+  std::int64_t cold_settles() const { return cold_; }
+
+ private:
+  AmplitudeCacheConfig cfg_;
+  std::vector<double> cached_dbm_;  // NaN == never seen
+  std::int64_t fast_ = 0;
+  std::int64_t cold_ = 0;
+};
+
+}  // namespace sirius::phy

@@ -1,0 +1,36 @@
+#include "phy/cdr.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sirius::phy {
+
+PhaseCachingCdr::PhaseCachingCdr(std::int32_t senders, CdrConfig cfg)
+    : cfg_(cfg),
+      last_seen_(static_cast<std::size_t>(senders), Time::infinity()) {}
+
+double PhaseCachingCdr::phase_drift_ui(NodeId sender, Time now) const {
+  const Time last = last_seen_.at(static_cast<std::size_t>(sender));
+  if (last.is_infinite()) return 1e9;  // never seen: effectively unbounded
+  const double elapsed_sec = (now - last).to_sec();
+  // UI drift = residual frequency offset x elapsed symbols.
+  return cfg_.residual_freq_offset * elapsed_sec *
+         cfg_.symbol_rate_gbaud * 1e9;
+}
+
+bool PhaseCachingCdr::cache_fresh(NodeId sender, Time now) const {
+  return phase_drift_ui(sender, now) <= cfg_.max_phase_error_ui;
+}
+
+Time PhaseCachingCdr::on_burst(NodeId sender, Time now) {
+  const bool fresh = cache_fresh(sender, now);
+  last_seen_.at(static_cast<std::size_t>(sender)) = now;
+  if (fresh) {
+    ++fast_locks_;
+    return cfg_.cached_lock;
+  }
+  ++cold_locks_;
+  return cfg_.cold_lock;
+}
+
+}  // namespace sirius::phy

@@ -1,0 +1,10 @@
+#include "phy/slot_geometry.hpp"
+
+namespace sirius::phy {
+
+SlotGeometry default_slot_geometry() {
+  using namespace sirius::literals;
+  return SlotGeometry(DataSize::bytes(562), DataRate::gbps(50), 10_ns);
+}
+
+}  // namespace sirius::phy

@@ -1,0 +1,83 @@
+// Timeslot geometry: how cell size, line rate and guardband compose into
+// the fixed-length slots that drive the whole network (§4.2, §7).
+//
+// The paper's default: 50 Gbps channels, 562-byte cells -> ~90 ns of data,
+// plus a 10 ns guardband = 100 ns slots. The prototype reached a guardband
+// of 3.84 ns (laser tuning + cell preamble), allowing slots as short as
+// 38 ns (§4.5).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius::phy {
+
+/// Immutable description of the slot layout on one optical channel.
+class SlotGeometry {
+ public:
+  /// Builds a geometry from cell payload size, line rate and guardband.
+  SlotGeometry(DataSize cell, DataRate line_rate, Time guardband)
+      : cell_(cell),
+        line_rate_(line_rate),
+        guardband_(guardband),
+        data_time_(line_rate.transmission_time(cell)) {
+    assert(cell.in_bytes() > 0);
+    assert(guardband >= Time::zero());
+  }
+
+  /// Builds the geometry the paper uses for a given guardband, keeping the
+  /// guardband at 10 % of the total slot (as the Fig. 11 sweep does): the
+  /// data portion is sized to 9x the guardband.
+  static SlotGeometry with_guardband_fraction(Time guardband,
+                                              DataRate line_rate,
+                                              double guard_fraction = 0.10) {
+    assert(guard_fraction > 0.0 && guard_fraction < 1.0);
+    const double data_ps = static_cast<double>(guardband.picoseconds()) *
+                           (1.0 - guard_fraction) / guard_fraction;
+    const DataSize cell = line_rate.bytes_in(Time::ps(
+        static_cast<std::int64_t>(data_ps + 0.5)));
+    return SlotGeometry(cell, line_rate, guardband);
+  }
+
+  DataSize cell_size() const { return cell_; }
+  DataRate line_rate() const { return line_rate_; }
+  Time guardband() const { return guardband_; }
+  /// Time spent transmitting cell bytes.
+  Time data_time() const { return data_time_; }
+  /// Full slot duration = data + guardband.
+  Time slot_duration() const { return data_time_ + guardband_; }
+
+  /// Fraction of the slot lost to the guardband (switching overhead, §2.2).
+  double guard_overhead() const {
+    return static_cast<double>(guardband_.picoseconds()) /
+           static_cast<double>(slot_duration().picoseconds());
+  }
+
+  /// Effective per-channel goodput after guardband overhead.
+  DataRate effective_rate() const {
+    const double eff =
+        static_cast<double>(line_rate_.bits_per_sec()) *
+        (1.0 - guard_overhead());
+    return DataRate::bps(static_cast<std::int64_t>(eff + 0.5));
+  }
+
+  /// Index of the slot containing time `t` (slots start at t = 0).
+  std::int64_t slot_index(Time t) const { return t / slot_duration(); }
+  /// Start time of slot `i`.
+  Time slot_start(std::int64_t i) const { return slot_duration() * i; }
+
+ private:
+  DataSize cell_;
+  DataRate line_rate_;
+  Time guardband_;
+  Time data_time_;
+};
+
+/// The paper's default geometry: 562 B cells at 50 Gbps with a 10 ns guard
+/// (100 ns slots).
+SlotGeometry default_slot_geometry();
+
+}  // namespace sirius::phy

@@ -1,0 +1,41 @@
+#include "phy/transceiver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sirius::phy {
+
+Transceiver::Transceiver(std::unique_ptr<optical::TunableSource> laser,
+                         std::int32_t peers, CdrConfig cdr_cfg,
+                         Time equalization, Time amplitude_cache,
+                         Time sync_margin)
+    : laser_(std::move(laser)),
+      cdr_(peers, cdr_cfg),
+      equalization_(equalization),
+      amplitude_cache_(amplitude_cache),
+      sync_margin_(sync_margin) {
+  assert(laser_ != nullptr);
+}
+
+GuardbandBudget Transceiver::reconfiguration_budget() const {
+  return GuardbandBudget{
+      .laser_tuning = laser_->worst_case_latency(),
+      .cdr_lock = cdr_.config().cached_lock,
+      .equalization = equalization_,
+      .amplitude_cache = amplitude_cache_,
+      .sync_margin = sync_margin_,
+  };
+}
+
+Time Transceiver::reconfigure(WavelengthId w, NodeId sender, Time now) {
+  const Time tune = laser_->tune_to(w);
+  const Time lock = cdr_.on_burst(sender, now);
+  // Tuning happens on the transmit side while the receive side locks on the
+  // (different) incoming burst; both must finish, and the serial receive-
+  // path training (equalizer DSP, amplitude) plus sync margin stack on top.
+  return std::max(tune, lock + equalization_ + amplitude_cache_) +
+         sync_margin_;
+}
+
+}  // namespace sirius::phy

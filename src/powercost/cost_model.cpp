@@ -1,0 +1,57 @@
+#include "powercost/cost_model.hpp"
+
+#include <cassert>
+
+namespace sirius::powercost {
+
+double CostModel::esn_cost_per_tbps() const {
+  const double switches = 2.0 * cfg_.esn_tiers - 1.0;
+  const double transceivers = 4.0 * cfg_.esn_tiers - 2.0;
+  return switches * switch_cost_per_tbps() +
+         transceivers * transceiver_cost_per_tbps();
+}
+
+double CostModel::esn_oversubscribed_cost_per_tbps(double oversub) const {
+  assert(oversub >= 1.0);
+  // The ToR tier (2 traversals, server links + ToR uplinks: 6 transceivers)
+  // is provisioned in full; the aggregation tier and above are thinned by
+  // the oversubscription factor. Cost is per Tbps of *server* bandwidth —
+  // the oversubscribed fabric is cheaper but offers less bisection, which
+  // is exactly the trade-off Fig. 6b's second series captures.
+  const double tor_cost =
+      2.0 * switch_cost_per_tbps() + 6.0 * transceiver_cost_per_tbps();
+  const double upper_switches = 2.0 * cfg_.esn_tiers - 3.0;
+  const double upper_transceivers = 4.0 * cfg_.esn_tiers - 8.0;
+  const double upper_cost = upper_switches * switch_cost_per_tbps() +
+                            upper_transceivers * transceiver_cost_per_tbps();
+  return tor_cost + upper_cost / oversub;
+}
+
+double CostModel::tunable_transceiver_cost_per_tbps(double laser_mult) const {
+  assert(laser_mult >= 1.0);
+  const double mult =
+      1.0 + (laser_mult - 1.0) * cfg_.laser_cost_fraction;
+  return transceiver_cost_per_tbps() * mult;
+}
+
+double CostModel::sirius_cost_per_tbps(double grating_cost_fraction,
+                                       double laser_mult) const {
+  assert(grating_cost_fraction > 0.0);
+  return cfg_.sirius_tor_traversals * switch_cost_per_tbps() +
+         cfg_.gratings_per_path * grating_cost_fraction *
+             switch_cost_per_tbps() +
+         2.0 * cfg_.sirius_uplink_factor *
+             tunable_transceiver_cost_per_tbps(laser_mult);
+}
+
+double CostModel::electrical_sirius_cost_per_tbps() const {
+  // Same flat topology and uplink factor, but the grating becomes a full
+  // electrical switch and each switch port needs its own transceiver, so
+  // the transceiver count per path doubles (rack side + switch side) and
+  // the optics are standard (laser_mult = 1).
+  return cfg_.sirius_tor_traversals * switch_cost_per_tbps() +
+         switch_cost_per_tbps() +
+         4.0 * cfg_.sirius_uplink_factor * transceiver_cost_per_tbps();
+}
+
+}  // namespace sirius::powercost

@@ -1,0 +1,84 @@
+// Network cost model (§5, Fig. 6b).
+//
+// Component prices follow the paper: a 25.6 Tbps switch costs ~$5,000
+// (optimistic), transceivers $1/Gbps. Gratings, fabricated as etchings at
+// volume, are estimated below 25 % of an electrical switch; the fast
+// tunable laser costs ~3x (error bars to 5x) a fixed laser, where the
+// laser is a minority share of total transceiver cost (packaged chip area
+// and power serve as first-order proxies, §5).
+//
+// The same path accounting as the power model applies. Reported claims:
+// Sirius costs ~28 % of a non-blocking ESN (grating at 25 %, laser at 3x),
+// ~53 % of a 3:1 oversubscribed ESN, and ~55 % of an electrically-switched
+// Sirius variant (same flat topology, gratings replaced by switches).
+#pragma once
+
+#include <cstdint>
+
+namespace sirius::powercost {
+
+struct CostModelConfig {
+  double switch_cost = 5'000.0;        ///< 25.6 Tbps switch
+  double switch_tbps = 25.6;
+  double transceiver_cost_per_gbps = 1.0;
+  /// Laser's share of a standard transceiver's cost.
+  double laser_cost_fraction = 0.18;
+  std::int32_t esn_tiers = 4;
+  double sirius_uplink_factor = 1.5;
+  double sirius_tor_traversals = 1.0;
+  /// Gratings traversed per Sirius path.
+  double gratings_per_path = 1.0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelConfig cfg = {}) : cfg_(cfg) {}
+
+  const CostModelConfig& config() const { return cfg_; }
+
+  double switch_cost_per_tbps() const {
+    return cfg_.switch_cost / cfg_.switch_tbps;
+  }
+  double transceiver_cost_per_tbps() const {
+    return cfg_.transceiver_cost_per_gbps * 1'000.0;
+  }
+
+  /// $/Tbps for a non-blocking folded-Clos ESN.
+  double esn_cost_per_tbps() const;
+
+  /// $/Tbps for an ESN with `oversub`:1 oversubscription above the ToR
+  /// tier (the aggregation tier and up are thinned by the factor).
+  double esn_oversubscribed_cost_per_tbps(double oversub) const;
+
+  /// $/Tbps for Sirius with gratings costing `grating_cost_fraction` of an
+  /// electrical switch and tunable lasers costing `laser_mult` x fixed.
+  double sirius_cost_per_tbps(double grating_cost_fraction,
+                              double laser_mult) const;
+
+  /// $/Tbps for the electrically-switched Sirius variant: the flat Sirius
+  /// topology and routing, but with the grating layer replaced by
+  /// electrical switches plus the extra transceivers they require.
+  double electrical_sirius_cost_per_tbps() const;
+
+  /// Fig. 6b, solid series: Sirius / non-blocking ESN.
+  double cost_ratio_nonblocking(double grating_cost_fraction,
+                                double laser_mult) const {
+    return sirius_cost_per_tbps(grating_cost_fraction, laser_mult) /
+           esn_cost_per_tbps();
+  }
+
+  /// Fig. 6b, dashed series: Sirius / 3:1-oversubscribed ESN.
+  double cost_ratio_oversubscribed(double grating_cost_fraction,
+                                   double laser_mult,
+                                   double oversub = 3.0) const {
+    return sirius_cost_per_tbps(grating_cost_fraction, laser_mult) /
+           esn_oversubscribed_cost_per_tbps(oversub);
+  }
+
+ private:
+  double tunable_transceiver_cost_per_tbps(double laser_mult) const;
+
+  CostModelConfig cfg_;
+};
+
+}  // namespace sirius::powercost

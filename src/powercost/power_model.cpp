@@ -1,0 +1,60 @@
+#include "powercost/power_model.hpp"
+
+#include <cassert>
+
+namespace sirius::powercost {
+
+double PowerModel::esn_power_per_tbps(std::int32_t tiers) const {
+  assert(tiers >= 0);
+  if (tiers == 0) {
+    // Direct fiber: one transceiver at each end.
+    return 2.0 * transceiver_watts_per_tbps();
+  }
+  const double switches = 2.0 * tiers - 1.0;        // path traversals
+  const double transceivers = 4.0 * tiers - 2.0;    // per path bandwidth
+  return switches * switch_watts_per_tbps() +
+         transceivers * transceiver_watts_per_tbps();
+}
+
+std::int32_t PowerModel::tiers_for_endpoints(std::int64_t endpoints,
+                                             std::int32_t radix) {
+  assert(radix >= 2);
+  if (endpoints <= 2) return 0;
+  std::int64_t reach = radix;
+  std::int32_t tiers = 1;
+  while (reach < endpoints) {
+    reach *= radix / 2;
+    ++tiers;
+  }
+  return tiers;
+}
+
+double PowerModel::parallel_planes_ratio(double tunable_ratio,
+                                         double bandwidth_multiple) const {
+  assert(bandwidth_multiple >= 1.0);
+  // Sirius planes: W/Tbps is constant — parallelism is free in efficiency.
+  const double sirius = sirius_power_per_tbps(tunable_ratio);
+  // The ESN must grow: if the electrical switch generation stalls
+  // (post-Moore), more bandwidth means another tier of hierarchy once the
+  // multiple exceeds what a tier's radix absorbs (~every 2x at fixed
+  // radix growth 0). We charge one extra tier per 4x of bandwidth.
+  std::int32_t tiers = cfg_.esn_tiers;
+  for (double m = bandwidth_multiple; m > 2.0; m /= 4.0) ++tiers;
+  return sirius / esn_power_per_tbps(tiers);
+}
+
+double PowerModel::sirius_power_per_tbps(double tunable_ratio) const {
+  assert(tunable_ratio >= 1.0);
+  // Tunable transceiver = standard transceiver electronics plus a laser
+  // consuming tunable_ratio x the fixed laser.
+  const double tunable_transceiver_watts =
+      cfg_.transceiver_watts + (tunable_ratio - 1.0) * cfg_.fixed_laser_watts;
+  const double per_tbps = tunable_transceiver_watts / cfg_.transceiver_tbps;
+  // Path: ToR traversal(s), a passive grating (0 W), and two tunable
+  // transceivers; the uplink factor scales the transceiver count per unit
+  // of usable bandwidth.
+  return cfg_.sirius_tor_traversals * switch_watts_per_tbps() +
+         2.0 * cfg_.sirius_uplink_factor * per_tbps;
+}
+
+}  // namespace sirius::powercost

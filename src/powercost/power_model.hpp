@@ -1,0 +1,79 @@
+// Network power model (§2 Fig. 2a, §5 Fig. 6a).
+//
+// Accounting follows the paper's component numbers: a 25.6 Tbps electrical
+// switch consumes 500 W; a 400 Gbps transceiver consumes 10 W, of which
+// ~1 W is the fixed laser. An end-to-end path through an L-tier folded
+// Clos crosses 2L-1 switches and 2L links; the two server-attach links
+// carry one optical transceiver each and every inter-switch link carries
+// two, i.e. 4L-2 transceivers per unit of path bandwidth. This reproduces
+// Fig. 2a exactly: 50 W/Tbps for direct fiber and 487 W/Tbps at 4 tiers.
+//
+// Sirius replaces the hierarchy with a passive grating layer (0 W): a path
+// is one ToR traversal plus 2 tunable transceivers, multiplied by the
+// load-balancing uplink factor (1.5x, §7). A tunable laser consuming
+// kappa x the fixed laser's power raises each transceiver by
+// (kappa-1) x 1 W. At kappa = 3..5 the Sirius/ESN ratio is 23-26 %
+// (the abstract's "74-77 % lower power").
+#pragma once
+
+#include <cstdint>
+
+namespace sirius::powercost {
+
+struct PowerModelConfig {
+  double switch_watts = 500.0;          ///< 25.6 Tbps ASIC + chassis
+  double switch_tbps = 25.6;
+  double transceiver_watts = 10.0;      ///< 400 Gbps optics
+  double transceiver_tbps = 0.4;
+  double fixed_laser_watts = 1.0;       ///< laser share of the transceiver
+  std::int32_t esn_tiers = 4;           ///< large datacenter (2M endpoints)
+  double sirius_uplink_factor = 1.5;    ///< load-balancing headroom (§7)
+  double sirius_tor_traversals = 1.0;   ///< rack-switch hops charged/path
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerModelConfig cfg = {}) : cfg_(cfg) {}
+
+  const PowerModelConfig& config() const { return cfg_; }
+
+  double switch_watts_per_tbps() const {
+    return cfg_.switch_watts / cfg_.switch_tbps;
+  }
+  double transceiver_watts_per_tbps() const {
+    return cfg_.transceiver_watts / cfg_.transceiver_tbps;
+  }
+
+  /// Fig. 2a: W/Tbps of bisection bandwidth for an electrically-switched
+  /// folded Clos with `tiers` switch tiers (0 = direct fiber).
+  double esn_power_per_tbps(std::int32_t tiers) const;
+
+  /// Switch tiers needed for `endpoints` endpoints at `radix` ports per
+  /// switch — the x-axis mapping of Fig. 2a (2 -> 0, 64 -> 1, 2K -> 2,
+  /// 65K -> 3, 2M -> 4 with radix 64).
+  static std::int32_t tiers_for_endpoints(std::int64_t endpoints,
+                                          std::int32_t radix = 64);
+
+  /// W/Tbps for Sirius when the tunable laser consumes `tunable_ratio` x
+  /// the power of a fixed laser (Fig. 6a x-axis).
+  double sirius_power_per_tbps(double tunable_ratio) const;
+
+  /// Fig. 6a: Sirius power / non-blocking-ESN power.
+  double power_ratio(double tunable_ratio) const {
+    return sirius_power_per_tbps(tunable_ratio) /
+           esn_power_per_tbps(cfg_.esn_tiers);
+  }
+
+  /// §4.5 "parallel networks": k independent Sirius planes multiply
+  /// bandwidth at constant W/Tbps (the passive core adds no power), while
+  /// an ESN that scales bandwidth by adding hierarchy pays the next tier's
+  /// scale tax. Returns Sirius-planes power / ESN power when both deliver
+  /// `bandwidth_multiple` x today's per-node bandwidth.
+  double parallel_planes_ratio(double tunable_ratio,
+                               double bandwidth_multiple) const;
+
+ private:
+  PowerModelConfig cfg_;
+};
+
+}  // namespace sirius::powercost

@@ -1,0 +1,137 @@
+#include "sched/demand_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sirius::sched {
+
+DemandScheduler::DemandScheduler(std::int32_t nodes, std::uint64_t seed)
+    : nodes_(nodes), rng_(seed) {
+  assert(nodes_ >= 2);
+}
+
+SlotMatching DemandScheduler::match_slot(std::vector<std::int64_t>& demand,
+                                         std::int32_t max_iterations,
+                                         MatchStats& stats) {
+  const auto n = static_cast<std::size_t>(nodes_);
+  assert(demand.size() == n * n);
+  SlotMatching src_to_dst(n, kInvalidNode);
+  std::vector<NodeId> dst_to_src(n, kInvalidNode);
+
+  for (std::int32_t it = 0; it < max_iterations; ++it) {
+    ++stats.iterations;
+    // Request phase: every unmatched source requests one random
+    // destination it has demand for (and that is still unmatched).
+    std::vector<std::vector<NodeId>> requests(n);
+    bool any_request = false;
+    for (NodeId s = 0; s < nodes_; ++s) {
+      if (src_to_dst[static_cast<std::size_t>(s)] != kInvalidNode) continue;
+      // Collect candidate destinations.
+      NodeId pick = kInvalidNode;
+      std::int32_t count = 0;
+      for (NodeId d = 0; d < nodes_; ++d) {
+        if (dst_to_src[static_cast<std::size_t>(d)] != kInvalidNode) continue;
+        if (demand[static_cast<std::size_t>(s) * n +
+                   static_cast<std::size_t>(d)] > 0) {
+          ++count;
+          if (rng_.below(static_cast<std::uint64_t>(count)) == 0) pick = d;
+        }
+      }
+      if (pick != kInvalidNode) {
+        requests[static_cast<std::size_t>(pick)].push_back(s);
+        any_request = true;
+      }
+    }
+    if (!any_request) break;
+
+    // Grant/accept phase: each destination grants one requester at random.
+    for (NodeId d = 0; d < nodes_; ++d) {
+      auto& reqs = requests[static_cast<std::size_t>(d)];
+      if (reqs.empty()) continue;
+      const NodeId s = reqs[rng_.below(reqs.size())];
+      src_to_dst[static_cast<std::size_t>(s)] = d;
+      dst_to_src[static_cast<std::size_t>(d)] = s;
+      ++stats.matched_pairs;
+      auto& cell = demand[static_cast<std::size_t>(s) * n +
+                          static_cast<std::size_t>(d)];
+      if (cell > 0) {
+        --cell;
+        ++stats.demand_served;
+      }
+    }
+  }
+  return src_to_dst;
+}
+
+std::vector<SlotMatching> DemandScheduler::decompose(
+    std::vector<std::int64_t> demand, std::int32_t slots,
+    std::int32_t max_iterations, MatchStats& stats) {
+  std::vector<SlotMatching> out;
+  out.reserve(static_cast<std::size_t>(slots));
+  for (std::int32_t t = 0; t < slots; ++t) {
+    out.push_back(match_slot(demand, max_iterations, stats));
+  }
+  return out;
+}
+
+double DemandScheduler::static_rotation_service(
+    const std::vector<std::int64_t>& demand, std::int32_t nodes,
+    std::int32_t slots) {
+  const auto n = static_cast<std::size_t>(nodes);
+  assert(demand.size() == n * n);
+  // Each ordered pair is connected floor/ceil(slots/(N-1)) times.
+  std::int64_t total = 0;
+  std::int64_t served = 0;
+  const double per_pair =
+      static_cast<double>(slots) / static_cast<double>(nodes - 1);
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    total += demand[i];
+    served += static_cast<std::int64_t>(
+        std::min(static_cast<double>(demand[i]), per_pair));
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(served) / static_cast<double>(total);
+}
+
+std::vector<std::int64_t> uniform_demand(std::int32_t nodes,
+                                         std::int64_t per_pair) {
+  const auto n = static_cast<std::size_t>(nodes);
+  std::vector<std::int64_t> d(n * n, per_pair);
+  for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0;
+  return d;
+}
+
+std::vector<std::int64_t> skewed_pairs_demand(std::int32_t nodes,
+                                              std::int32_t pairs,
+                                              std::int64_t per_pair) {
+  assert(pairs * 2 <= nodes);
+  const auto n = static_cast<std::size_t>(nodes);
+  std::vector<std::int64_t> d(n * n, 0);
+  for (std::int32_t k = 0; k < pairs; ++k) {
+    const auto src = static_cast<std::size_t>(2 * k);
+    const auto dst = static_cast<std::size_t>(2 * k + 1);
+    d[src * n + dst] = per_pair;
+  }
+  return d;
+}
+
+std::vector<std::int64_t> hotspot_demand(std::int32_t nodes,
+                                         std::int64_t total,
+                                         double hot_fraction, Rng& rng) {
+  const auto n = static_cast<std::size_t>(nodes);
+  std::vector<std::int64_t> d(n * n, 0);
+  const auto hot = static_cast<std::int64_t>(total * hot_fraction);
+  const NodeId hot_dst = 0;
+  for (std::int64_t k = 0; k < total; ++k) {
+    NodeId dst = k < hot ? hot_dst
+                         : static_cast<NodeId>(rng.below(
+                               static_cast<std::uint64_t>(nodes)));
+    NodeId src =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+    if (src == dst) src = (src + 1) % nodes;
+    ++d[static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst)];
+  }
+  return d;
+}
+
+}  // namespace sirius::sched

@@ -1,0 +1,92 @@
+// On-demand centralized scheduling — the alternative §4.2 rejects.
+//
+// "One approach is on-demand scheduling, i.e., sending the datacenter
+//  demand matrix ... to a scheduler that calculates and assigns
+//  communication timeslots ... While such an approach may be viable when
+//  optical switching is done at coarse timescales, it is not efficient
+//  and practical for Sirius' fast switching at scale."
+//
+// We implement that strawman faithfully so the claim can be measured: an
+// iSLIP-style iterative maximal matcher that decomposes a demand matrix
+// into per-slot permutations, plus a control-loop latency model (demand
+// collection over the fabric, matching compute, schedule distribution).
+// The ablation bench compares its *throughput* against the scheduler-less
+// static rotation under uniform and skewed demand, and its *control
+// latency* against the 100 ns slot it would have to keep up with.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius::sched {
+
+/// A (possibly partial) permutation: out[i] = destination matched to
+/// source i in one slot, or kInvalidNode.
+using SlotMatching = std::vector<NodeId>;
+
+struct MatchStats {
+  std::int64_t matched_pairs = 0;    ///< total matches across all slots
+  std::int64_t demand_served = 0;    ///< cells served (<= matched_pairs)
+  std::int64_t iterations = 0;       ///< matcher iterations executed
+};
+
+/// Iterative maximal-matching scheduler over an N x N demand matrix.
+class DemandScheduler {
+ public:
+  explicit DemandScheduler(std::int32_t nodes, std::uint64_t seed = 1);
+
+  std::int32_t nodes() const { return nodes_; }
+
+  /// One slot's matching over the residual demand (request -> grant ->
+  /// accept rounds until maximal or `max_iterations`). Mutates `demand`
+  /// by decrementing the served entries.
+  SlotMatching match_slot(std::vector<std::int64_t>& demand,
+                          std::int32_t max_iterations, MatchStats& stats);
+
+  /// Decomposes `demand` into `slots` matchings.
+  std::vector<SlotMatching> decompose(std::vector<std::int64_t> demand,
+                                      std::int32_t slots,
+                                      std::int32_t max_iterations,
+                                      MatchStats& stats);
+
+  /// Fraction of `demand` a static rotation serves in `slots` slots: each
+  /// ordered pair gets slots/(N-1) service opportunities (with Valiant
+  /// load balancing it is load-independent; here we score the *direct*
+  /// rotation to keep the comparison about scheduling, not routing).
+  static double static_rotation_service(
+      const std::vector<std::int64_t>& demand, std::int32_t nodes,
+      std::int32_t slots);
+
+  /// Control-loop latency of the centralized approach: demands travel to
+  /// the scheduler, `iterations` matching rounds run at `per_iteration`,
+  /// and the schedule travels back.
+  static Time control_latency(Time fabric_rtt, std::int64_t iterations,
+                              Time per_iteration) {
+    return fabric_rtt + per_iteration * iterations;
+  }
+
+ private:
+  std::int32_t nodes_;
+  Rng rng_;
+};
+
+/// Demand-matrix helpers for the ablation.
+std::vector<std::int64_t> uniform_demand(std::int32_t nodes,
+                                         std::int64_t per_pair);
+/// `hot_fraction` of all demand targets one destination.
+std::vector<std::int64_t> hotspot_demand(std::int32_t nodes,
+                                         std::int64_t total,
+                                         double hot_fraction, Rng& rng);
+/// Demand concentrated on `pairs` disjoint source->destination pairs
+/// (`per_pair` cells each): the pattern where on-demand scheduling beats a
+/// static rotation by up to (N-1)x — and where Valiant load balancing
+/// recovers the gap without a scheduler.
+std::vector<std::int64_t> skewed_pairs_demand(std::int32_t nodes,
+                                              std::int32_t pairs,
+                                              std::int64_t per_pair);
+
+}  // namespace sirius::sched

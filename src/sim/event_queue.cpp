@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sirius::sim {
+
+void EventQueue::schedule_at(Time at, Handler h) {
+  assert(at >= now_ && "cannot schedule into the past");
+  heap_.push(Entry{at, next_seq_++, std::move(h)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the handler is moved out via a
+  // const_cast-free copy of the entry (handlers are cheap to move, but top
+  // is const — copy, then pop).
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.h();
+  return true;
+}
+
+std::int64_t EventQueue::run_until(Time until) {
+  std::int64_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace sirius::sim

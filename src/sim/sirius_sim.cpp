@@ -1,0 +1,280 @@
+#include "sim/sirius_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sirius::sim {
+
+namespace {
+
+// Alive member list for the schedule given the failed set.
+std::vector<NodeId> alive_members(const SiriusSimConfig& cfg) {
+  std::vector<bool> down(static_cast<std::size_t>(cfg.racks), false);
+  for (const NodeId f : cfg.failed_racks) {
+    down[static_cast<std::size_t>(f)] = true;
+  }
+  std::vector<NodeId> alive;
+  alive.reserve(static_cast<std::size_t>(cfg.racks));
+  for (NodeId n = 0; n < cfg.racks; ++n) {
+    if (!down[static_cast<std::size_t>(n)]) alive.push_back(n);
+  }
+  return alive;
+}
+
+}  // namespace
+
+SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
+    : cfg_(cfg),
+      workload_(workload),
+      sched_(alive_members(cfg), cfg.uplinks()),
+      rng_(cfg.seed ^ 0x5349524955u),
+      goodput_(cfg.servers(), cfg.server_share()) {
+  assert(workload_.servers == cfg_.servers() &&
+         "workload generated for a different server count");
+
+  const cc::RequestGrantConfig cc_cfg{cfg_.racks, cfg_.queue_limit,
+                                     cfg_.spread};
+  nodes_.reserve(static_cast<std::size_t>(cfg_.racks));
+  for (NodeId n = 0; n < cfg_.racks; ++n) {
+    nodes_.emplace_back(n, cc_cfg, cfg_.slots.cell_size());
+    for (const NodeId f : cfg_.failed_racks) {
+      nodes_.back().cc().exclude(f);
+    }
+  }
+  rx_.resize(workload_.flows.size());
+  server_free_.assign(static_cast<std::size_t>(cfg_.servers()), Time::zero());
+
+  prop_slots_ = std::max<std::int64_t>(
+      1, (cfg_.propagation_delay + cfg_.slots.slot_duration() -
+          Time::ps(1)) /
+             cfg_.slots.slot_duration());
+  in_flight_.resize(static_cast<std::size_t>(prop_slots_) + 1);
+
+  nic_cell_time_ = cfg_.server_nic.transmission_time(cfg_.slots.cell_size());
+  flows_remaining_ = static_cast<std::int64_t>(workload_.flows.size());
+  measure_end_ = workload_.last_arrival();
+  completions_.assign(workload_.flows.size(), Time::infinity());
+}
+
+void SiriusSim::finish_flow(FlowId flow, Time completion) {
+  const auto& f = workload_.flows[static_cast<std::size_t>(flow)];
+  fct_.record(f.size, completion - f.arrival);
+  completions_[static_cast<std::size_t>(flow)] = completion;
+  --flows_remaining_;
+}
+
+void SiriusSim::deliver(const node::Cell& cell, Time now) {
+  auto& rxp = rx_[static_cast<std::size_t>(cell.flow)];
+  assert(rxp != nullptr && "cell delivered for unknown flow");
+  RxFlow& rx = *rxp;
+
+  // Serialise onto the destination server's downlink.
+  Time& free = server_free_[static_cast<std::size_t>(cell.dst_server)];
+  const Time delivered_at = std::max(now, free) + nic_cell_time_;
+  free = delivered_at;
+
+  if (delivered_at <= measure_end_) {
+    goodput_.deliver(DataSize::bytes(cell.payload_bytes));
+  }
+  ++cells_delivered_;
+
+  rx.reorder.on_arrival(cell.seq, cell.payload_bytes);
+  if (rx.reorder.complete() && rx.completion.is_infinite()) {
+    rx.completion = delivered_at;
+    reorder_peaks_.observe_peak(rx.reorder.peak_buffered_bytes());
+    finish_flow(cell.flow, delivered_at);
+  }
+}
+
+void SiriusSim::inject_arrivals(Time now) {
+  const Time slot_end = now + cfg_.slots.slot_duration();
+  while (next_flow_ < workload_.flows.size() &&
+         workload_.flows[next_flow_].arrival < slot_end) {
+    const workload::Flow& f = workload_.flows[next_flow_];
+    const NodeId src_rack = rack_of(f.src_server);
+    const NodeId dst_rack = rack_of(f.dst_server);
+    const std::int64_t cells = node::cells_for(f.size, cfg_.slots.cell_size());
+
+    if (!sched_.is_member(src_rack) || !sched_.is_member(dst_rack)) {
+      // An endpoint rack is down: the flow cannot be carried (§4.5 — the
+      // blast radius of a failure is its own servers plus a 1/N bandwidth
+      // loss for everyone else, which the adjusted schedule handles).
+      ++rejected_flows_;
+      --flows_remaining_;
+      ++next_flow_;
+      continue;
+    }
+    if (src_rack == dst_rack) {
+      // Intra-rack traffic never touches the optical core (§4.2): it is
+      // switched locally by the electrical ToR at server line rate.
+      const Time completion = f.arrival +
+                              cfg_.server_nic.transmission_time(f.size) +
+                              cfg_.rack_switch_latency;
+      if (completion <= measure_end_) goodput_.deliver(f.size);
+      finish_flow(f.id, completion);
+    } else {
+      node::LocalFlow lf;
+      lf.id = f.id;
+      lf.dst_node = dst_rack;
+      lf.src_server = f.src_server;
+      lf.dst_server = f.dst_server;
+      lf.size = f.size;
+      lf.arrival = f.arrival;
+      lf.total_cells = cells;
+      nodes_[static_cast<std::size_t>(src_rack)].add_flow(lf);
+      rx_[static_cast<std::size_t>(f.id)] = std::make_unique<RxFlow>(cells);
+    }
+    ++next_flow_;
+  }
+}
+
+void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
+  // No request/grant round in the idealised mode, and none needed for
+  // direct-only routing (each pair owns its slot outright).
+  if (cfg_.ideal || cfg_.routing == RoutingMode::kDirect) return;
+
+  // Phase A — every node, acting as intermediate, turns the requests it
+  // received during the previous epoch into grants (bounded by Q).
+  // Phase B — grants move cells from LOCAL into the per-intermediate
+  // virtual queues (or are released if the cell already left).
+  for (auto& inter : nodes_) {
+    auto grants = inter.cc().issue_grants(
+        [&inter](NodeId dst) { return inter.fq_depth(dst); }, rng_);
+    for (const cc::Grant& g : grants) {
+      auto& src = nodes_[static_cast<std::size_t>(g.to)];
+      auto cell = src.take_cell_for(g.dst, now, nic_cell_time_);
+      if (cell.has_value()) {
+        src.push_vq(g.intermediate, *cell);
+      } else {
+        inter.cc().on_grant_release(g.dst);
+        ++stat_released_;
+      }
+    }
+  }
+
+  // Phase C — every node emits this epoch's requests from LOCAL.
+  const auto limit = static_cast<std::size_t>(cfg_.racks - 1);
+  for (auto& src : nodes_) {
+    if (!src.has_unfinished_flows()) continue;
+    const auto pending = src.pending_cell_dsts(now, nic_cell_time_, limit);
+    const auto vq_has_room = [this, &src](NodeId i) {
+      return src.vq_depth(i) < cfg_.max_vq_depth;
+    };
+    for (const auto& req :
+         src.cc().build_requests(pending, round, rng_, vq_has_room)) {
+      nodes_[static_cast<std::size_t>(req.intermediate)]
+          .cc()
+          .receive_request(cc::Request{src.self(), req.dst});
+      ++stat_requests_;
+    }
+  }
+}
+
+void SiriusSim::land_arrivals(std::int64_t slot, Time now) {
+  auto& bucket = in_flight_[static_cast<std::size_t>(
+      slot % static_cast<std::int64_t>(in_flight_.size()))];
+  for (const Arrival& a : bucket) {
+    if (a.cell.dst_node == a.to) {
+      // Reached its destination (second hop, or a lucky direct first hop).
+      deliver(a.cell, now);
+    } else {
+      // First hop into an intermediate: enqueue for relaying. The grant
+      // accounting was already settled at transmission time (see
+      // transmit_slot): in-flight cells are on the wire, not in the queue
+      // that Q bounds.
+      nodes_[static_cast<std::size_t>(a.to)].push_fq(a.cell.dst_node, a.cell);
+    }
+  }
+  bucket.clear();
+}
+
+void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
+  const auto land_slot = static_cast<std::size_t>(
+      (slot + prop_slots_) % static_cast<std::int64_t>(in_flight_.size()));
+  for (NodeId s = 0; s < cfg_.racks; ++s) {
+    auto& n = nodes_[static_cast<std::size_t>(s)];
+    for (UplinkId u = 0; u < sched_.uplinks(); ++u) {
+      const NodeId p = sched_.peer_tx(s, u, slot);
+      if (p == kInvalidNode) continue;
+      if (cfg_.routing == RoutingMode::kDirect) {
+        // Direct-only: pull the next pending cell addressed to p, if any.
+        if (auto cell = n.take_cell_for(p, now, nic_cell_time_)) {
+          in_flight_[land_slot].push_back(Arrival{*cell, p});
+          ++stat_tx_first_;
+        }
+        continue;
+      }
+      // Relay traffic first: it is older and its queue bound must drain.
+      if (auto cell = n.pop_fq(p)) {
+        in_flight_[land_slot].push_back(Arrival{*cell, p});
+        ++stat_tx_relay_;
+        continue;
+      }
+      if (cfg_.ideal) {
+        if (auto cell = n.take_any_cell(now, nic_cell_time_)) {
+          in_flight_[land_slot].push_back(Arrival{*cell, p});
+        }
+      } else if (auto cell = n.pop_vq(p)) {
+        // The granted cell is now on the wire towards intermediate p with a
+        // deterministic arrival slot, so p's grant accounting can release
+        // the outstanding slot immediately (the schedule guarantees p will
+        // relay it no sooner than its own (p, dst) slot anyway). Keeping
+        // outstanding held for the full fiber flight would turn Q into a
+        // bandwidth-delay-product cap at small slot sizes.
+        nodes_[static_cast<std::size_t>(p)].cc().on_granted_cell_arrival(
+            cell->dst_node);
+        in_flight_[land_slot].push_back(Arrival{*cell, p});
+        ++stat_tx_first_;
+      }
+    }
+  }
+}
+
+SiriusSimResult SiriusSim::run() {
+  const Time slot_len = cfg_.slots.slot_duration();
+  const std::int64_t last_arrival_slot =
+      workload_.last_arrival() / slot_len + 1;
+  const std::int64_t hard_stop = last_arrival_slot + cfg_.max_drain_slots;
+
+  std::int64_t slot = 0;
+  for (; flows_remaining_ > 0 && slot < hard_stop; ++slot) {
+    const Time now = cfg_.slots.slot_start(slot);
+    if (slot % sched_.slots_per_round() == 0) {
+      epoch_boundary(slot / sched_.slots_per_round(), now);
+    }
+    inject_arrivals(now);
+    land_arrivals(slot, now);
+    transmit_slot(slot, now);
+  }
+  // Land whatever is still in flight so delivery stats are complete.
+  for (std::int64_t k = 0; k <= prop_slots_ && flows_remaining_ > 0; ++k) {
+    land_arrivals(slot + k, cfg_.slots.slot_start(slot + k));
+  }
+
+  SiriusSimResult r;
+  r.fct = fct_.summarize();
+  r.goodput_normalized = goodput_.normalized(measure_end_);
+  for (const auto& n : nodes_) {
+    r.worst_node_queue_peak_kb =
+        std::max(r.worst_node_queue_peak_kb,
+                 static_cast<double>(n.peak_queue_bytes()) * 1e-3);
+  }
+  r.worst_reorder_peak_kb = reorder_peaks_.worst_peak_kb();
+  r.slots_simulated = slot;
+  r.cells_delivered = cells_delivered_;
+  r.incomplete_flows = flows_remaining_;
+  r.rejected_flows = rejected_flows_;
+  r.sim_end = cfg_.slots.slot_start(slot);
+  r.per_flow_completion = std::move(completions_);
+  r.requests_sent = stat_requests_;
+  r.grants_released = stat_released_;
+  r.slots_tx_relay = stat_tx_relay_;
+  r.slots_tx_first = stat_tx_first_;
+  for (const auto& n : nodes_) {
+    r.grants_issued += n.cc().stat_grants_issued();
+    r.grants_denied_q += n.cc().stat_denied_queue_bound();
+  }
+  return r;
+}
+
+}  // namespace sirius::sim

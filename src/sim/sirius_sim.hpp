@@ -1,0 +1,179 @@
+// Slot-synchronous packet-level simulator of the Sirius network (§7).
+//
+// All Sirius transmissions happen on timeslot boundaries, so instead of a
+// general event queue the simulator advances one slot at a time:
+//
+//   slot loop:
+//     - at round boundaries, run the congestion-control epoch exchange
+//       (grants from last epoch's requests, cell moves, new requests);
+//     - inject flows whose Poisson arrival time has been reached;
+//     - land cells that finished their fiber propagation;
+//     - for every (node, uplink), the static cyclic schedule names the
+//       peer; the node transmits one cell: a relayed cell for the peer
+//       (forward queue) if any, else a granted first-hop cell towards the
+//       peer (virtual queue).
+//
+// Two operating modes:
+//   * request/grant (default): the §4.3 protocol with queue bound Q;
+//   * ideal: no request/grant round; sources spray cells round-robin over
+//     their flows to the schedule-determined peer (per-flow-queue /
+//     back-pressure idealisation, "Sirius (Ideal)" in Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "node/node.hpp"
+#include "node/reorder_buffer.hpp"
+#include "phy/slot_geometry.hpp"
+#include "sched/schedule.hpp"
+#include "stats/fct_tracker.hpp"
+#include "stats/goodput.hpp"
+#include "stats/occupancy.hpp"
+#include "workload/flow.hpp"
+
+namespace sirius::sim {
+
+/// How sources route cells over the static schedule.
+enum class RoutingMode {
+  /// Valiant/Chang load balancing through a random intermediate (§4.2) —
+  /// what Sirius does; needs the request/grant congestion control.
+  kValiant,
+  /// Direct-only: a cell waits for the slot that connects its source to
+  /// its destination. No relaying, no congestion control — but each pair
+  /// only owns uplinks/(N-1) of the node bandwidth, so skewed traffic
+  /// strands most of the fabric (the §4.1 motivation for load balancing).
+  kDirect,
+};
+
+struct SiriusSimConfig {
+  std::int32_t racks = 64;
+  std::int32_t servers_per_rack = 8;
+  /// Rack uplinks an equivalent non-blocking ESN would have; Sirius gets
+  /// base_uplinks * uplink_multiplier tunable transceivers (§7 uses 1.5x
+  /// to compensate the two-hop load-balanced routing).
+  std::int32_t base_uplinks = 8;
+  double uplink_multiplier = 1.5;
+  phy::SlotGeometry slots = phy::default_slot_geometry();
+  std::int32_t queue_limit = 4;  ///< Q of §4.3
+  /// Request-spreading policy (see cc::SpreadPolicy).
+  cc::SpreadPolicy spread = cc::SpreadPolicy::kDesynchronized;
+  /// A source stops requesting an intermediate whose virtual queue already
+  /// holds this many granted-but-unsent cells (bounds source-side backlog;
+  /// the source knows its own queues, so this is free to implement).
+  std::int32_t max_vq_depth = 2;
+  bool ideal = false;            ///< per-flow-queue idealisation
+  RoutingMode routing = RoutingMode::kValiant;
+  /// One-way node -> grating -> node propagation (datacenter span).
+  Time propagation_delay = Time::ns(500);
+  /// Server <-> rack-switch link rate (injection and delivery pacing).
+  DataRate server_nic = DataRate::gbps(50);
+  /// Intra-rack forwarding latency through the electrical ToR.
+  Time rack_switch_latency = Time::ns(500);
+  std::uint64_t seed = 1;
+  /// Safety cap: give up this many slots after the last flow arrival.
+  std::int64_t max_drain_slots = 5'000'000;
+  /// Racks that are down for the whole run (§4.5 fault tolerance): the
+  /// schedule is built over the alive set, every node excludes them as
+  /// relay intermediates, and flows touching them are rejected at
+  /// injection (counted in SiriusSimResult::rejected_flows).
+  std::vector<NodeId> failed_racks;
+
+  std::int32_t servers() const { return racks * servers_per_rack; }
+  std::int32_t uplinks() const {
+    return static_cast<std::int32_t>(base_uplinks * uplink_multiplier + 0.5);
+  }
+  /// Provisioned per-server bandwidth (goodput normalisation): the rack's
+  /// base uplink capacity divided among its servers.
+  DataRate server_share() const {
+    return (slots.line_rate() * base_uplinks) / servers_per_rack;
+  }
+};
+
+struct SiriusSimResult {
+  stats::FctSummary fct;
+  double goodput_normalized = 0.0;       ///< Fig. 9b metric
+  double worst_node_queue_peak_kb = 0.0; ///< Fig. 10c metric (VQ+FQ bytes)
+  double worst_reorder_peak_kb = 0.0;    ///< Fig. 10d metric (per flow)
+  std::int64_t slots_simulated = 0;
+  std::int64_t cells_delivered = 0;
+  std::int64_t incomplete_flows = 0;
+  /// Flows rejected because an endpoint rack was failed.
+  std::int64_t rejected_flows = 0;
+  Time sim_end;
+  /// Completion time of every workload flow (Time::infinity() if it did
+  /// not finish before the drain cap). Indexed by flow id.
+  std::vector<Time> per_flow_completion;
+
+  // Protocol/diagnostic counters (request/grant mode).
+  std::int64_t requests_sent = 0;
+  std::int64_t grants_issued = 0;
+  std::int64_t grants_denied_q = 0;
+  std::int64_t grants_released = 0;
+  std::int64_t slots_tx_relay = 0;  ///< second-hop transmissions
+  std::int64_t slots_tx_first = 0;  ///< first-hop transmissions
+};
+
+/// Runs one Sirius experiment over `workload`. Flow endpoints in the
+/// workload are servers; they are mapped onto racks by division.
+class SiriusSim {
+ public:
+  SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload);
+
+  SiriusSimResult run();
+
+  const sched::CyclicSchedule& schedule() const { return sched_; }
+
+ private:
+  struct RxFlow {
+    node::ReorderBuffer reorder;
+    Time completion = Time::infinity();
+    explicit RxFlow(std::int64_t cells) : reorder(cells) {}
+  };
+  struct Arrival {
+    node::Cell cell;
+    NodeId to;
+  };
+
+  NodeId rack_of(std::int32_t server) const {
+    return server / cfg_.servers_per_rack;
+  }
+
+  void epoch_boundary(std::int64_t round, Time now);
+  void inject_arrivals(Time now);
+  void land_arrivals(std::int64_t slot, Time now);
+  void transmit_slot(std::int64_t slot, Time now);
+  void deliver(const node::Cell& cell, Time now);
+  void finish_flow(FlowId flow, Time completion);
+
+  SiriusSimConfig cfg_;
+  const workload::Workload& workload_;
+  sched::CyclicSchedule sched_;
+  Rng rng_;
+
+  std::vector<node::Node> nodes_;
+  std::vector<std::unique_ptr<RxFlow>> rx_;      // indexed by flow id
+  std::vector<Time> server_free_;                // downlink serialisation
+  std::vector<std::vector<Arrival>> in_flight_;  // ring buffer by slot
+  std::int64_t prop_slots_;
+  Time nic_cell_time_;
+
+  std::size_t next_flow_ = 0;     // next workload flow to inject
+  std::int64_t flows_remaining_;  // not yet completed
+  Time measure_end_;              // goodput window = [0, last arrival]
+
+  stats::FctTracker fct_;
+  stats::GoodputMeter goodput_;
+  stats::OccupancyAggregator reorder_peaks_;
+  std::vector<Time> completions_;
+  std::int64_t cells_delivered_ = 0;
+  std::int64_t rejected_flows_ = 0;
+  std::int64_t stat_requests_ = 0;
+  std::int64_t stat_released_ = 0;
+  std::int64_t stat_tx_relay_ = 0;
+  std::int64_t stat_tx_first_ = 0;
+};
+
+}  // namespace sirius::sim

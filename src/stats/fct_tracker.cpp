@@ -1,0 +1,30 @@
+#include "stats/fct_tracker.hpp"
+
+namespace sirius::stats {
+
+void FctTracker::record(DataSize size, Time fct) {
+  const double ms = fct.to_ms();
+  all_ms_.add(ms);
+  if (size.in_bytes() < kShortFlowBytes) {
+    short_ms_.add(ms);
+  }
+  ++completed_;
+}
+
+FctSummary FctTracker::summarize() {
+  FctSummary s;
+  s.completed_flows = completed_;
+  s.short_flows = static_cast<std::int64_t>(short_ms_.count());
+  if (!short_ms_.empty()) {
+    s.short_fct_p99_ms = short_ms_.percentile(99.0);
+    s.short_fct_p50_ms = short_ms_.percentile(50.0);
+    s.short_fct_mean_ms = short_ms_.mean();
+  }
+  if (!all_ms_.empty()) {
+    s.all_fct_p99_ms = all_ms_.percentile(99.0);
+    s.all_fct_mean_ms = all_ms_.mean();
+  }
+  return s;
+}
+
+}  // namespace sirius::stats

@@ -1,0 +1,3 @@
+#include "stats/goodput.hpp"
+
+// Header-only; this TU anchors the library.

@@ -1,0 +1,39 @@
+// Normalised server goodput (Fig. 9b): total bytes delivered to
+// applications during the measurement window, divided by simulated time
+// and by the aggregate server bandwidth N * R.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius::stats {
+
+class GoodputMeter {
+ public:
+  GoodputMeter(std::int32_t servers, DataRate server_rate)
+      : servers_(servers), server_rate_(server_rate) {}
+
+  void deliver(DataSize bytes) { delivered_ += bytes; }
+
+  DataSize delivered() const { return delivered_; }
+
+  /// Goodput over [0, horizon], normalised by N * R (1.0 = every server
+  /// receiving at line rate for the whole window).
+  double normalized(Time horizon) const {
+    if (horizon <= Time::zero()) return 0.0;
+    const double bits = static_cast<double>(delivered_.in_bits());
+    const double capacity =
+        static_cast<double>(server_rate_.bits_per_sec()) * servers_ *
+        horizon.to_sec();
+    return bits / capacity;
+  }
+
+ private:
+  std::int32_t servers_;
+  DataRate server_rate_;
+  DataSize delivered_;
+};
+
+}  // namespace sirius::stats

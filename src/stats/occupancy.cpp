@@ -1,0 +1,3 @@
+#include "stats/occupancy.hpp"
+
+// Header-only; this TU anchors the library.

@@ -1,0 +1,54 @@
+// Queue-occupancy accounting (Fig. 10c/10d): peak aggregate queue bytes
+// per node and peak per-flow reorder-buffer bytes at receivers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/units.hpp"
+
+namespace sirius::stats {
+
+/// Tracks a single gauge in bytes with peak.
+class ByteGauge {
+ public:
+  void add(DataSize d) {
+    current_ += d.in_bytes();
+    peak_ = std::max(peak_, current_);
+  }
+  void remove(DataSize d) { current_ -= d.in_bytes(); }
+
+  std::int64_t current_bytes() const { return current_; }
+  std::int64_t peak_bytes() const { return peak_; }
+  double peak_kb() const { return static_cast<double>(peak_) * 1e-3; }
+
+ private:
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+/// Aggregates per-entity gauges into a fleet-wide worst case.
+class OccupancyAggregator {
+ public:
+  void observe_peak(std::int64_t peak_bytes) {
+    worst_peak_ = std::max(worst_peak_, peak_bytes);
+    sum_peaks_ += peak_bytes;
+    ++entities_;
+  }
+  std::int64_t worst_peak_bytes() const { return worst_peak_; }
+  double worst_peak_kb() const {
+    return static_cast<double>(worst_peak_) * 1e-3;
+  }
+  double mean_peak_bytes() const {
+    return entities_ ? static_cast<double>(sum_peaks_) /
+                           static_cast<double>(entities_)
+                     : 0.0;
+  }
+
+ private:
+  std::int64_t worst_peak_ = 0;
+  std::int64_t sum_peaks_ = 0;
+  std::int64_t entities_ = 0;
+};
+
+}  // namespace sirius::stats

@@ -1,0 +1,29 @@
+#include "sync/clock_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sirius::sync {
+
+LocalClock::LocalClock(const ClockConfig& cfg, Rng& rng)
+    : freq_error_(rng.uniform(-cfg.initial_freq_error_ppm,
+                              cfg.initial_freq_error_ppm) *
+                  1e-6),
+      walk_intensity_(cfg.freq_walk_ppm_per_sqrt_s) {}
+
+void LocalClock::advance(Time dt, Rng& rng) {
+  const double dt_s = dt.to_sec();
+  // Phase accumulates frequency error: 1 ppm over 1 us = 1 ps.
+  phase_ps_ += freq_error_ * static_cast<double>(dt.picoseconds());
+  // Frequency random walk ~ N(0, intensity^2 * dt).
+  if (walk_intensity_ > 0.0 && dt_s > 0.0) {
+    NormalDistribution walk(0.0, walk_intensity_ * std::sqrt(dt_s) * 1e-6);
+    freq_error_ += walk.sample(rng);
+  }
+}
+
+void LocalClock::apply_frequency_correction(double delta, double max_step) {
+  freq_error_ -= std::clamp(delta, -max_step, max_step);
+}
+
+}  // namespace sirius::sync

@@ -1,0 +1,55 @@
+// Local oscillator model for the time-synchronisation study (§4.4, §6).
+//
+// Each node has a free-running oscillator with a static frequency error
+// (crystal tolerance, tens of ppm), a slow random walk of that frequency
+// (temperature), and white phase-measurement noise. Sirius does not need
+// the clocks to be *correct*, only *mutually synchronised*: every epoch a
+// node recovers the current leader's clock from the incoming bit stream
+// and slews its own frequency towards it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/distributions.hpp"
+#include "common/time.hpp"
+
+namespace sirius::sync {
+
+struct ClockConfig {
+  double initial_freq_error_ppm = 20.0;  ///< +/- bound on static offset
+  /// Frequency random-walk intensity: stddev of ppm change per sqrt(second)
+  /// (temperature-induced wander).
+  double freq_walk_ppm_per_sqrt_s = 0.01;
+  /// RMS phase-measurement noise when recovering a remote clock (ps).
+  double phase_noise_ps = 1.0;
+};
+
+/// A drifting local clock. Time is advanced by the simulation in steps; the
+/// clock integrates its frequency error into a phase offset.
+class LocalClock {
+ public:
+  LocalClock(const ClockConfig& cfg, Rng& rng);
+
+  /// Advances true time by `dt`, integrating frequency error into phase.
+  void advance(Time dt, Rng& rng);
+
+  /// Phase offset of this clock versus true time, in picoseconds.
+  double phase_offset_ps() const { return phase_ps_; }
+  /// Current fractional frequency error (dimensionless, e.g. 20e-6).
+  double freq_error() const { return freq_error_; }
+
+  /// Slews the frequency by `delta` (dimensionless), as a PLL/DLL would.
+  /// The correction is clamped to +/- `max_step` to filter byzantine or
+  /// glitched measurements (§4.4's DLL frequency filter).
+  void apply_frequency_correction(double delta, double max_step);
+
+  /// Steps the phase directly (initial offset calibration).
+  void apply_phase_correction(double delta_ps) { phase_ps_ -= delta_ps; }
+
+ private:
+  double freq_error_;      // fractional
+  double phase_ps_ = 0.0;  // integrated offset vs true time
+  double walk_intensity_;  // ppm per sqrt(s)
+};
+
+}  // namespace sirius::sync

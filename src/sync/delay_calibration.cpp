@@ -1,0 +1,52 @@
+#include "sync/delay_calibration.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sirius::sync {
+
+CalibrationResult DelayCalibrator::calibrate(
+    const std::vector<double>& fiber_length_m, Rng& rng) const {
+  assert(!fiber_length_m.empty());
+  CalibrationResult out;
+  out.estimated_delay.reserve(fiber_length_m.size());
+
+  NormalDistribution noise(0.0, cfg_.measurement_noise_ps);
+  for (double meters : fiber_length_m) {
+    const Time truth = propagation_delay(meters);
+    // Average several round-trip measurements; each has independent noise
+    // and the one-way delay is half the round trip (noise halves too).
+    double sum_ps = 0.0;
+    for (std::int32_t k = 0; k < cfg_.measurements_per_node; ++k) {
+      const double rtt_ps =
+          2.0 * static_cast<double>(truth.picoseconds()) + noise.sample(rng);
+      sum_ps += rtt_ps / 2.0;
+    }
+    out.estimated_delay.push_back(Time::ps(static_cast<std::int64_t>(
+        sum_ps / cfg_.measurements_per_node + 0.5)));
+  }
+
+  const Time max_est =
+      *std::max_element(out.estimated_delay.begin(), out.estimated_delay.end());
+  out.epoch_start_offset.reserve(fiber_length_m.size());
+  for (const Time est : out.estimated_delay) {
+    out.epoch_start_offset.push_back(max_est - est);
+  }
+
+  // With perfect calibration, node i transmitting at (origin - offset_i)
+  // reaches the AWGR at origin + max_delay for all i. The residual error is
+  // the spread of (true_delay_i - estimated_delay_i) across nodes.
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t i = 0; i < fiber_length_m.size(); ++i) {
+    const double resid =
+        static_cast<double>(propagation_delay(fiber_length_m[i]).picoseconds() -
+                            out.estimated_delay[i].picoseconds());
+    lo = std::min(lo, resid);
+    hi = std::max(hi, resid);
+  }
+  out.worst_alignment_error_ps = hi - lo;
+  return out;
+}
+
+}  // namespace sirius::sync

@@ -1,0 +1,63 @@
+// Propagation-delay calibration (§4.4, §A.2).
+//
+// Fibers from nodes to the AWGR have different lengths, so without
+// compensation, cells sent "in the same slot" would arrive at the grating
+// at different times and overlap neighbouring slots. Sirius measures each
+// node's distance to the AWGR (the passive core makes a reflection-based
+// round-trip measurement exact up to noise), then advances each node's
+// epoch start by its own propagation delay relative to the farthest node:
+// the farther a node is, the earlier it transmits, so all slot-k cells hit
+// the grating simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/time.hpp"
+
+namespace sirius::sync {
+
+/// Propagation constant of standard single-mode fiber.
+inline constexpr double kFiberNsPerMeter = 4.9;
+
+struct DelayCalibrationConfig {
+  /// RMS error of one round-trip distance measurement, in ps.
+  double measurement_noise_ps = 2.0;
+  /// Number of round-trip measurements averaged per node.
+  std::int32_t measurements_per_node = 16;
+};
+
+/// Result of calibrating one set of nodes against their grating.
+struct CalibrationResult {
+  /// Estimated one-way node->AWGR delay per node.
+  std::vector<Time> estimated_delay;
+  /// Epoch-start advance per node: (max estimated delay) - (own delay).
+  /// A node starts its epoch this much *after* the notional origin; the
+  /// farthest node starts first (advance 0 is farthest).
+  std::vector<Time> epoch_start_offset;
+  /// Worst residual misalignment at the AWGR across node pairs, in ps,
+  /// given the true delays (i.e. the calibration error).
+  double worst_alignment_error_ps = 0.0;
+};
+
+/// Simulates the reflection-based calibration over true fiber lengths.
+class DelayCalibrator {
+ public:
+  explicit DelayCalibrator(DelayCalibrationConfig cfg = {}) : cfg_(cfg) {}
+
+  /// `fiber_length_m[i]` is the true fiber run from node i to the AWGR.
+  CalibrationResult calibrate(const std::vector<double>& fiber_length_m,
+                              Rng& rng) const;
+
+  /// True one-way propagation delay for a fiber of `meters`.
+  static Time propagation_delay(double meters) {
+    return Time::ps(
+        static_cast<std::int64_t>(meters * kFiberNsPerMeter * 1e3 + 0.5));
+  }
+
+ private:
+  DelayCalibrationConfig cfg_;
+};
+
+}  // namespace sirius::sync

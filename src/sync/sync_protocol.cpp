@@ -1,0 +1,116 @@
+#include "sync/sync_protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sirius::sync {
+
+SyncProtocolSim::SyncProtocolSim(SyncProtocolConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  assert(cfg_.nodes >= 2);
+  clocks_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
+    clocks_.emplace_back(cfg_.clock, rng_);
+  }
+  failed_.assign(static_cast<std::size_t>(cfg_.nodes), false);
+  fail_at_epoch_.assign(static_cast<std::size_t>(cfg_.nodes), -1);
+}
+
+void SyncProtocolSim::fail_node_at(std::int32_t node, std::int64_t epoch) {
+  fail_at_epoch_.at(static_cast<std::size_t>(node)) = epoch;
+}
+
+std::int32_t SyncProtocolSim::next_alive_leader(std::int32_t from) const {
+  for (std::int32_t k = 0; k < cfg_.nodes; ++k) {
+    const std::int32_t cand = (from + k) % cfg_.nodes;
+    if (!failed_[static_cast<std::size_t>(cand)]) return cand;
+  }
+  return -1;
+}
+
+SyncRunResult SyncProtocolSim::run(std::int64_t epochs,
+                                   std::int64_t warmup_epochs) {
+  SyncRunResult result;
+  NormalDistribution phase_noise(0.0, cfg_.clock.phase_noise_ps);
+  std::int32_t leader_slot = 0;
+  std::int32_t last_leader = -1;
+
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    // Inject scheduled failures.
+    for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
+      if (fail_at_epoch_[static_cast<std::size_t>(i)] == e) {
+        failed_[static_cast<std::size_t>(i)] = true;
+      }
+    }
+
+    // All oscillators drift for one epoch.
+    for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
+      if (!failed_[static_cast<std::size_t>(i)]) {
+        clocks_[static_cast<std::size_t>(i)].advance(cfg_.epoch, rng_);
+      }
+    }
+
+    // Leader rotation: advance the rotor every tenure; skip failed nodes
+    // (a dead leader's silence is detected within one epoch, §4.4).
+    if (e % cfg_.leader_tenure_epochs == 0) {
+      leader_slot = (leader_slot + 1) % cfg_.nodes;
+    }
+    const std::int32_t leader = next_alive_leader(leader_slot);
+    assert(leader >= 0 && "all nodes failed");
+    if (last_leader != -1 && leader != last_leader &&
+        failed_[static_cast<std::size_t>(last_leader)]) {
+      ++result.leader_failovers;
+    }
+    last_leader = leader;
+
+    // Every alive follower recovers the leader clock from the epoch burst
+    // and slews phase and frequency towards it.
+    auto& lead = clocks_[static_cast<std::size_t>(leader)];
+    for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
+      if (i == leader || failed_[static_cast<std::size_t>(i)]) continue;
+      auto& c = clocks_[static_cast<std::size_t>(i)];
+      const double measured_phase = (c.phase_offset_ps() -
+                                     lead.phase_offset_ps()) +
+                                    phase_noise.sample(rng_);
+      const double measured_freq = c.freq_error() - lead.freq_error();
+      c.apply_phase_correction(cfg_.pll_gain * measured_phase);
+      c.apply_frequency_correction(cfg_.pll_gain * measured_freq,
+                                   cfg_.max_freq_step);
+    }
+
+    // Sample pairwise offsets among alive nodes.
+    double worst = 0.0;
+    double sum = 0.0;
+    std::int64_t pairs = 0;
+    for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
+      if (failed_[static_cast<std::size_t>(i)]) continue;
+      for (std::int32_t j = i + 1; j < cfg_.nodes; ++j) {
+        if (failed_[static_cast<std::size_t>(j)]) continue;
+        const double d =
+            std::fabs(clocks_[static_cast<std::size_t>(i)].phase_offset_ps() -
+                      clocks_[static_cast<std::size_t>(j)].phase_offset_ps());
+        worst = std::max(worst, d);
+        sum += d;
+        ++pairs;
+      }
+    }
+    if (result.convergence_epochs < 0 && worst < 10.0) {
+      result.convergence_epochs = e;
+    }
+    if (e >= warmup_epochs) {
+      result.max_pairwise_offset_ps =
+          std::max(result.max_pairwise_offset_ps, worst);
+      result.mean_pairwise_offset_ps += sum / static_cast<double>(pairs);
+    }
+  }
+
+  const auto measured = epochs - warmup_epochs;
+  if (measured > 0) {
+    result.mean_pairwise_offset_ps /= static_cast<double>(measured);
+  }
+  result.epochs_simulated = epochs;
+  return result;
+}
+
+}  // namespace sirius::sync

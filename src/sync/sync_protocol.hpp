@@ -1,0 +1,68 @@
+// Decentralised time synchronisation (§4.4).
+//
+// The passive gratings neither retime nor reclock data, so a receiver can
+// recover the *sender's* clock from any incoming burst with a PLL/DLL.
+// Because the static schedule reconnects every node pair once per epoch,
+// Sirius designates a leader whose clock everyone slews towards, and
+// rotates the leader every few epochs for robustness: a failed leader is
+// replaced within microseconds, before any noticeable drift accumulates.
+//
+// This module simulates that protocol over drifting oscillators and
+// reports the achieved mutual synchronisation accuracy (paper: +/-5 ps
+// measured over 24 h between two FPGAs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "sync/clock_model.hpp"
+
+namespace sirius::sync {
+
+struct SyncProtocolConfig {
+  std::int32_t nodes = 16;
+  Time epoch = Time::us(13);          ///< schedule period (leader burst gap)
+  std::int32_t leader_tenure_epochs = 4;  ///< epochs before leader rotates
+  double pll_gain = 0.5;              ///< fraction of measured error corrected
+  /// Max fractional frequency step per correction — the DLL filter that
+  /// rejects byzantine/glitched frequency measurements.
+  double max_freq_step = 1e-6;
+  ClockConfig clock = {};
+};
+
+struct SyncRunResult {
+  /// Worst pairwise clock offset observed after the warmup window, in ps.
+  double max_pairwise_offset_ps = 0.0;
+  /// Mean absolute pairwise offset after warmup, in ps.
+  double mean_pairwise_offset_ps = 0.0;
+  /// Epochs until all pairwise offsets first dropped below 10 ps.
+  std::int64_t convergence_epochs = -1;
+  std::int64_t epochs_simulated = 0;
+  std::int64_t leader_failovers = 0;
+};
+
+/// Simulates the leader-rotation synchronisation protocol.
+class SyncProtocolSim {
+ public:
+  SyncProtocolSim(SyncProtocolConfig cfg, std::uint64_t seed);
+
+  /// Marks a node as failed from `epoch` onward; it stops serving as leader
+  /// (detected after one epoch of silence) and stops correcting.
+  void fail_node_at(std::int32_t node, std::int64_t epoch);
+
+  /// Runs for `epochs` schedule epochs; offsets are sampled each epoch and
+  /// statistics collected after `warmup_epochs`.
+  SyncRunResult run(std::int64_t epochs, std::int64_t warmup_epochs);
+
+ private:
+  std::int32_t next_alive_leader(std::int32_t from) const;
+
+  SyncProtocolConfig cfg_;
+  Rng rng_;
+  std::vector<LocalClock> clocks_;
+  std::vector<bool> failed_;
+  std::vector<std::int64_t> fail_at_epoch_;
+};
+
+}  // namespace sirius::sync

@@ -1,0 +1,73 @@
+#include "topo/clos_topology.hpp"
+
+#include <cassert>
+
+namespace sirius::topo {
+
+ClosTopology::ClosTopology(ClosConfig cfg)
+    : cfg_(cfg), tiers_(tiers_needed(servers(), cfg.switch_radix)) {
+  assert(cfg_.racks >= 1 && cfg_.servers_per_rack >= 1);
+  assert(cfg_.oversubscription >= 1);
+}
+
+std::int32_t ClosTopology::tiers_needed(std::int64_t endpoints,
+                                        std::int32_t radix) {
+  assert(radix >= 2);
+  if (endpoints <= 2) return 0;  // direct fiber, no switch
+  // One switch connects up to `radix` endpoints; each extra folded tier
+  // multiplies reach by radix/2 (half the ports face up).
+  std::int64_t reach = radix;
+  std::int32_t tiers = 1;
+  while (reach < endpoints) {
+    reach *= radix / 2;
+    ++tiers;
+  }
+  return tiers;
+}
+
+std::int64_t ClosTopology::switch_count() const {
+  const std::int64_t n = servers();
+  const std::int32_t radix = cfg_.switch_radix;
+  if (tiers_ == 0) return 0;
+  // Tier 1 (ToR): each switch serves radix/2 servers (other half up).
+  // Every further non-blocking tier needs the same total port count as the
+  // tier below it feeding up, i.e. the same number of switches — except
+  // the top tier, which has no up-facing ports and needs half.
+  const std::int64_t tor = (n + radix / 2 - 1) / (radix / 2);
+  std::int64_t total = tor;
+  std::int64_t per_tier = tor;
+  for (std::int32_t t = 2; t <= tiers_; ++t) {
+    if (t == tiers_) {
+      total += (per_tier + 1) / 2;
+    } else {
+      per_tier = (per_tier / cfg_.oversubscription);
+      if (per_tier < 1) per_tier = 1;
+      total += per_tier;
+    }
+  }
+  return total;
+}
+
+std::int64_t ClosTopology::transceiver_count() const {
+  const std::int64_t n = servers();
+  if (tiers_ == 0) return 2 * n;  // point-to-point optics
+  // Each server's uplink into the ToR uses one transceiver pair's worth at
+  // scale (copper in-rack is also common; we follow the paper's W/Tbps
+  // accounting which charges optics above the ToR). Each inter-tier link
+  // carries two transceivers, and the up-facing capacity of each tier is
+  // n / oversubscription links at server speed (non-blocking within the
+  // fabric above).
+  std::int64_t total = 0;
+  std::int64_t uplinks = n / cfg_.oversubscription;
+  for (std::int32_t t = 1; t < tiers_; ++t) {
+    total += 2 * uplinks;
+  }
+  return total;
+}
+
+DataRate ClosTopology::bisection_bandwidth() const {
+  const DataRate full = cfg_.server_link * servers();
+  return (full / cfg_.oversubscription) / 2;
+}
+
+}  // namespace sirius::topo

@@ -1,0 +1,66 @@
+// Folded-Clos topology descriptor for the electrically-switched baseline
+// (ESN) and for the scale-tax power analysis of Fig. 2a.
+//
+// We describe the Clos analytically (tier count, radix, oversubscription)
+// rather than as an explicit graph: the idealised baseline simulations only
+// need the capacity constraints (server NICs, rack uplinks), and the power
+// and cost models only need device counts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace sirius::topo {
+
+struct ClosConfig {
+  std::int32_t racks = 128;
+  std::int32_t servers_per_rack = 24;
+  DataRate server_link = DataRate::gbps(50);
+  std::int32_t switch_radix = 64;  ///< ports per electrical switch
+  /// Oversubscription at the aggregation tier: 1 = non-blocking, 3 = 3:1.
+  std::int32_t oversubscription = 1;
+};
+
+/// Device inventory and capacity view of a folded Clos.
+class ClosTopology {
+ public:
+  explicit ClosTopology(ClosConfig cfg);
+
+  const ClosConfig& config() const { return cfg_; }
+  std::int32_t servers() const { return cfg_.racks * cfg_.servers_per_rack; }
+
+  /// Number of switch tiers needed to connect `endpoints` endpoints with
+  /// switches of radix `radix` in a non-blocking folded Clos: tier t
+  /// multiplies reach by radix/2 (except the top tier which uses all
+  /// ports downward).
+  static std::int32_t tiers_needed(std::int64_t endpoints,
+                                   std::int32_t radix);
+
+  /// Tiers of this instance.
+  std::int32_t tiers() const { return tiers_; }
+
+  /// Total switch count across all tiers (non-blocking folded Clos; the
+  /// oversubscribed variant thins the above-ToR tiers by the factor).
+  std::int64_t switch_count() const;
+
+  /// Transceiver count: two per inter-switch link plus one per server port
+  /// at the ToR (server-side optics).
+  std::int64_t transceiver_count() const;
+
+  /// Aggregate capacity leaving a rack towards the core.
+  DataRate rack_uplink_capacity() const {
+    const DataRate full = cfg_.server_link * cfg_.servers_per_rack;
+    return full / cfg_.oversubscription;
+  }
+
+  /// Full-bisection bandwidth of the fabric (servers x link / 2 when
+  /// non-blocking, reduced by oversubscription otherwise).
+  DataRate bisection_bandwidth() const;
+
+ private:
+  ClosConfig cfg_;
+  std::int32_t tiers_;
+};
+
+}  // namespace sirius::topo

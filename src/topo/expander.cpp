@@ -1,0 +1,142 @@
+#include "topo/expander.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+namespace sirius::topo {
+
+ExpanderGraph::ExpanderGraph(std::int32_t switches, std::int32_t degree,
+                             std::uint64_t seed)
+    : n_(switches), d_(degree) {
+  assert(n_ >= 4 && d_ >= 2 && d_ < n_);
+  assert((static_cast<std::int64_t>(n_) * d_) % 2 == 0 &&
+         "n*d must be even for a d-regular graph");
+  Rng rng(seed);
+  // The pairing model produces O(d^2) self-loops/multi-edges, so whole-
+  // sample rejection is hopeless at useful degrees; repair conflicts with
+  // random double-edge swaps instead, then resample only if the repaired
+  // graph is disconnected (rare for d >= 3).
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    build(rng);
+    if (!adj_.empty() && connected()) return;
+  }
+  assert(false && "failed to build a connected regular graph");
+}
+
+void ExpanderGraph::build(Rng& rng) {
+  // Stubs: each switch appears d times; a random perfect matching of the
+  // stubs yields the (multi-)edge set.
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(d_));
+  for (NodeId v = 0; v < n_; ++v) {
+    for (std::int32_t k = 0; k < d_; ++k) stubs.push_back(v);
+  }
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.below(i)]);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    edges.push_back({stubs[i], stubs[i + 1]});
+  }
+
+  // Double-edge-swap repair: while some edge is a self-loop or duplicate,
+  // swap one endpoint with a random other edge (preserves all degrees).
+  const auto is_bad = [&edges](std::size_t i,
+                               const std::set<std::pair<NodeId, NodeId>>&
+                                   seen_before_i) {
+    const auto [a, b] = edges[i];
+    if (a == b) return true;
+    const auto e = std::minmax(a, b);
+    return seen_before_i.count({e.first, e.second}) > 0;
+  };
+  for (int pass = 0; pass < 200; ++pass) {
+    // Locate bad edges in one scan.
+    std::set<std::pair<NodeId, NodeId>> seen;
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (is_bad(i, seen)) {
+        bad.push_back(i);
+      } else {
+        const auto e = std::minmax(edges[i].first, edges[i].second);
+        seen.insert({e.first, e.second});
+      }
+    }
+    if (bad.empty()) break;
+    for (const std::size_t i : bad) {
+      const std::size_t j = rng.below(edges.size());
+      if (j == i) continue;
+      std::swap(edges[i].second, edges[j].second);
+    }
+  }
+
+  // Final validation: any residual conflict aborts this attempt.
+  std::set<std::pair<NodeId, NodeId>> uniq;
+  for (const auto& [a, b] : edges) {
+    if (a == b) {
+      adj_.clear();
+      return;
+    }
+    const auto e = std::minmax(a, b);
+    if (!uniq.insert({e.first, e.second}).second) {
+      adj_.clear();
+      return;
+    }
+  }
+  adj_.assign(static_cast<std::size_t>(n_), {});
+  for (const auto& [a, b] : uniq) {
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+  }
+}
+
+std::vector<std::int32_t> ExpanderGraph::bfs_dist(NodeId src) const {
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(n_), -1);
+  std::deque<NodeId> q{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop_front();
+    for (const NodeId u : adj_[static_cast<std::size_t>(v)]) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        q.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool ExpanderGraph::connected() const {
+  const auto dist = bfs_dist(0);
+  return std::all_of(dist.begin(), dist.end(),
+                     [](std::int32_t d) { return d >= 0; });
+}
+
+double ExpanderGraph::average_path_length() const {
+  std::int64_t sum = 0;
+  std::int64_t pairs = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto dist = bfs_dist(v);
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u == v) continue;
+      sum += dist[static_cast<std::size_t>(u)];
+      ++pairs;
+    }
+  }
+  return static_cast<double>(sum) / static_cast<double>(pairs);
+}
+
+std::int32_t ExpanderGraph::diameter() const {
+  std::int32_t worst = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    const auto dist = bfs_dist(v);
+    for (const std::int32_t d : dist) worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+}  // namespace sirius::topo

@@ -1,0 +1,57 @@
+// Static expander topology (§8, Kassing et al. [37]).
+//
+// The related-work comparison Sirius draws: expander graphs over
+// electrical switches offer better cost than Clos at equal throughput,
+// but they still ride the (fading) scaling of electrical switching.
+// This module builds random regular graphs (the standard expander
+// construction), measures the path-length statistics that determine their
+// throughput, and provides the cost/power comparison hooks used by the
+// ablation bench: Sirius' flat passive core versus expander versus Clos.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace sirius::topo {
+
+/// A d-regular random graph over n switches (pairing-model construction,
+/// resampled until simple and connected).
+class ExpanderGraph {
+ public:
+  ExpanderGraph(std::int32_t switches, std::int32_t degree,
+                std::uint64_t seed);
+
+  std::int32_t switches() const { return n_; }
+  std::int32_t degree() const { return d_; }
+  const std::vector<NodeId>& neighbors(NodeId v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  bool connected() const;
+
+  /// Average shortest-path length over all ordered pairs (BFS).
+  double average_path_length() const;
+  /// Graph diameter.
+  std::int32_t diameter() const;
+
+  /// Upper bound on uniform throughput per switch-port pair: total link
+  /// capacity divided by the capacity consumed per delivered byte
+  /// (= average path length). Normalised so 1.0 means every edge busy
+  /// carrying useful traffic with no detours.
+  double uniform_throughput_bound() const {
+    return 1.0 / average_path_length();
+  }
+
+ private:
+  void build(Rng& rng);
+  std::vector<std::int32_t> bfs_dist(NodeId src) const;
+
+  std::int32_t n_;
+  std::int32_t d_;
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace sirius::topo

@@ -1,0 +1,67 @@
+#include "topo/sirius_topology.hpp"
+
+#include <cassert>
+
+namespace sirius::topo {
+
+SiriusTopology::SiriusTopology(SiriusTopologyConfig cfg)
+    : cfg_(cfg),
+      blocks_((cfg.nodes + cfg.grating_ports - 1) / cfg.grating_ports),
+      awgr_(cfg.grating_ports) {
+  assert(cfg_.nodes >= 2);
+  assert(cfg_.grating_ports >= 1);
+  assert(cfg_.replicas >= 1);
+}
+
+UplinkAttachment SiriusTopology::tx_attachment(NodeId n, UplinkId u) const {
+  assert(n >= 0 && n < cfg_.nodes);
+  assert(u >= 0 && u < uplinks_per_node());
+  const std::int32_t dst_block = u % blocks_;
+  const std::int32_t replica = u / blocks_;
+  const std::int32_t src_block = block_of(n);
+  const GratingId g =
+      (src_block * blocks_ + dst_block) * cfg_.replicas + replica;
+  return UplinkAttachment{g, index_in_block(n)};
+}
+
+UplinkAttachment SiriusTopology::rx_attachment(NodeId n, UplinkId u) const {
+  assert(n >= 0 && n < cfg_.nodes);
+  assert(u >= 0 && u < uplinks_per_node());
+  // Downlink u of node n comes from source block (u mod blocks), replica
+  // (u div blocks), into n's own block column.
+  const std::int32_t src_block = u % blocks_;
+  const std::int32_t replica = u / blocks_;
+  const std::int32_t dst_block = block_of(n);
+  const GratingId g =
+      (src_block * blocks_ + dst_block) * cfg_.replicas + replica;
+  return UplinkAttachment{g, index_in_block(n)};
+}
+
+std::vector<UplinkId> SiriusTopology::uplinks_towards(NodeId src,
+                                                      NodeId dst) const {
+  assert(dst >= 0 && dst < cfg_.nodes);
+  const std::int32_t dst_block = block_of(dst);
+  std::vector<UplinkId> out;
+  out.reserve(static_cast<std::size_t>(cfg_.replicas));
+  for (std::int32_t r = 0; r < cfg_.replicas; ++r) {
+    out.push_back(r * blocks_ + dst_block);
+  }
+  (void)src;
+  return out;
+}
+
+WavelengthId SiriusTopology::wavelength_to(NodeId src, UplinkId u,
+                                           NodeId dst) const {
+  assert(u % blocks_ == block_of(dst) && "uplink does not serve dst's block");
+  return awgr_.wavelength_for(index_in_block(src), index_in_block(dst));
+}
+
+NodeId SiriusTopology::destination_of(NodeId src, UplinkId u,
+                                      WavelengthId w) const {
+  const std::int32_t dst_block = u % blocks_;
+  const std::int32_t out_port = awgr_.route(index_in_block(src), w);
+  const NodeId dst = dst_block * cfg_.grating_ports + out_port;
+  return dst < cfg_.nodes ? dst : kInvalidNode;
+}
+
+}  // namespace sirius::topo

@@ -1,0 +1,89 @@
+// Sirius physical topology (§4.1, Fig. 5a).
+//
+// N nodes attach to a single layer of P-port AWGR gratings. Nodes are
+// grouped into k = ceil(N/P) blocks of at most P nodes. Each node has
+// U = k * replicas uplinks: uplink u serves destination block (u mod k),
+// replica (u div k). Grating (a, d, r) connects the TX side of block a to
+// the RX side of block d for replica r; a node's position within its block
+// is its port index on every grating it touches. Wavelengths select the
+// destination's in-block index via the AWGR's cyclic routing.
+//
+// Fig. 5a is the instance N=4, P=2 (k=2, replicas=1, 4 gratings); the
+// paper's datacenter scale is N=25,600 racks with P=100 and 256 uplinks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "optical/awgr.hpp"
+
+namespace sirius::topo {
+
+struct SiriusTopologyConfig {
+  std::int32_t nodes = 128;        ///< racks (or servers) on the optical core
+  std::int32_t grating_ports = 128;///< AWGR port count = usable wavelengths
+  std::int32_t replicas = 1;       ///< parallel gratings per block pair
+  DataRate channel_rate = DataRate::gbps(50);
+};
+
+/// Where one uplink of one node lands: which grating and which input port.
+struct UplinkAttachment {
+  GratingId grating;
+  std::int32_t input_port;
+};
+
+/// Immutable Sirius topology: wiring plan plus wavelength arithmetic.
+class SiriusTopology {
+ public:
+  explicit SiriusTopology(SiriusTopologyConfig cfg);
+
+  const SiriusTopologyConfig& config() const { return cfg_; }
+  std::int32_t nodes() const { return cfg_.nodes; }
+  std::int32_t blocks() const { return blocks_; }
+  /// Uplinks per node = blocks * replicas.
+  std::int32_t uplinks_per_node() const { return blocks_ * cfg_.replicas; }
+  std::int32_t gratings() const {
+    return blocks_ * blocks_ * cfg_.replicas;
+  }
+  const optical::Awgr& awgr() const { return awgr_; }
+
+  std::int32_t block_of(NodeId n) const { return n / cfg_.grating_ports; }
+  std::int32_t index_in_block(NodeId n) const { return n % cfg_.grating_ports; }
+
+  /// Grating + input port where uplink `u` of node `n` attaches.
+  UplinkAttachment tx_attachment(NodeId n, UplinkId u) const;
+
+  /// Grating + output port feeding downlink `u` of node `n`.
+  UplinkAttachment rx_attachment(NodeId n, UplinkId u) const;
+
+  /// The uplinks of `src` that can reach `dst` (one per replica).
+  std::vector<UplinkId> uplinks_towards(NodeId src, NodeId dst) const;
+
+  /// Wavelength `src` must use on uplink `u` so its light exits at `dst`.
+  /// Requires that uplink `u` serves dst's block.
+  WavelengthId wavelength_to(NodeId src, UplinkId u, NodeId dst) const;
+
+  /// Destination node reached from `src` on uplink `u` at wavelength `w`
+  /// (kInvalidNode if the output port is unpopulated, i.e. padding).
+  NodeId destination_of(NodeId src, UplinkId u, WavelengthId w) const;
+
+  /// Aggregate bidirectional uplink bandwidth per node.
+  DataRate node_uplink_bandwidth() const {
+    return cfg_.channel_rate * uplinks_per_node();
+  }
+
+  /// Largest deployable node count for a given grating port count and
+  /// uplink budget (paper: 100 ports x 256 uplinks = 25,600 racks).
+  static std::int64_t max_scale(std::int32_t grating_ports,
+                                std::int32_t uplinks) {
+    return static_cast<std::int64_t>(grating_ports) * uplinks;
+  }
+
+ private:
+  SiriusTopologyConfig cfg_;
+  std::int32_t blocks_;
+  optical::Awgr awgr_;
+};
+
+}  // namespace sirius::topo

@@ -1,0 +1,3 @@
+#include "workload/flow.hpp"
+
+// Header-only; this TU anchors the library.

@@ -1,0 +1,41 @@
+// Flow representation shared by the Sirius and ESN simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius::workload {
+
+/// One network flow: `size` bytes from `src` to `dst`, arriving at `arrival`.
+/// Endpoints are *servers*; the simulators map servers onto racks/nodes.
+struct Flow {
+  FlowId id = 0;
+  std::int32_t src_server = 0;
+  std::int32_t dst_server = 0;
+  DataSize size;
+  Time arrival;
+};
+
+/// A complete generated workload plus the parameters that produced it.
+struct Workload {
+  std::vector<Flow> flows;       ///< sorted by arrival time
+  std::int32_t servers = 0;
+  DataRate server_rate;
+  double offered_load = 0.0;     ///< the L of §7
+  DataSize mean_flow_size;
+
+  DataSize total_bytes() const {
+    DataSize sum;
+    for (const auto& f : flows) sum += f.size;
+    return sum;
+  }
+  /// Time of the last flow arrival.
+  Time last_arrival() const {
+    return flows.empty() ? Time::zero() : flows.back().arrival;
+  }
+};
+
+}  // namespace sirius::workload

@@ -1,0 +1,94 @@
+#include "workload/generator.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sirius::workload {
+namespace {
+
+// Mean of min(X, cap) for X ~ Pareto(shape, x_min):
+//   E = x_min * (1 + (1 - (x_min/cap)^(shape-1)) / (shape - 1)).
+double capped_pareto_mean(double x_min, double shape, double cap) {
+  if (x_min >= cap) return cap;
+  return x_min *
+         (1.0 + (1.0 - std::pow(x_min / cap, shape - 1.0)) / (shape - 1.0));
+}
+
+// Solves for the Pareto scale x_min such that the *capped* distribution has
+// the requested mean. With shape 1.05 the uncapped mean is dominated by an
+// essentially-infinite tail, so without this calibration the offered load
+// would be far below the configured L.
+double pareto_scale_for_capped_mean(double mean, double shape, double cap) {
+  assert(mean < cap);
+  double lo = 0.0, hi = mean;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (capped_pareto_mean(mid, shape, cap) < mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Time mean_interarrival_for_load(const GeneratorConfig& cfg) {
+  // L = F / (R * N * tau)  =>  tau = F / (R * N * L)
+  const double f_bits = static_cast<double>(cfg.mean_flow_size.in_bits());
+  const double rn =
+      static_cast<double>(cfg.server_rate.bits_per_sec()) * cfg.servers;
+  const double tau_sec = f_bits / (rn * cfg.load);
+  return Time::from_sec(tau_sec);
+}
+
+Workload generate(const GeneratorConfig& cfg) {
+  assert(cfg.servers >= 2);
+  assert(cfg.load > 0.0);
+  assert(cfg.pareto_shape > 1.0);
+
+  Rng rng(cfg.seed);
+  // When a cap is set, pick the Pareto scale so that the capped
+  // distribution's mean equals cfg.mean_flow_size (otherwise the nominal
+  // uncapped parameterisation is used directly).
+  double uncapped_mean = static_cast<double>(cfg.mean_flow_size.in_bytes());
+  if (cfg.max_flow_size > DataSize::zero()) {
+    const double x_min = pareto_scale_for_capped_mean(
+        uncapped_mean, cfg.pareto_shape,
+        static_cast<double>(cfg.max_flow_size.in_bytes()));
+    uncapped_mean = x_min * cfg.pareto_shape / (cfg.pareto_shape - 1.0);
+  }
+  ParetoDistribution sizes(cfg.pareto_shape, uncapped_mean);
+  PoissonProcess arrivals(mean_interarrival_for_load(cfg), rng.fork());
+
+  Workload w;
+  w.servers = cfg.servers;
+  w.server_rate = cfg.server_rate;
+  w.offered_load = cfg.load;
+  w.mean_flow_size = cfg.mean_flow_size;
+  w.flows.reserve(static_cast<std::size_t>(cfg.flow_count));
+
+  for (std::int64_t i = 0; i < cfg.flow_count; ++i) {
+    Flow f;
+    f.id = i;
+    f.arrival = arrivals.next();
+    f.src_server = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(cfg.servers)));
+    // Destination uniform over the other servers.
+    f.dst_server = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(cfg.servers - 1)));
+    if (f.dst_server >= f.src_server) ++f.dst_server;
+    double bytes = sizes.sample(rng);
+    if (cfg.max_flow_size > DataSize::zero()) {
+      bytes = std::min(bytes,
+                       static_cast<double>(cfg.max_flow_size.in_bytes()));
+    }
+    f.size = DataSize::bytes(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(bytes + 0.5)));
+    w.flows.push_back(f);
+  }
+  return w;
+}
+
+}  // namespace sirius::workload

@@ -1,0 +1,37 @@
+// Synthetic workload generator (§7 "Workload characteristics").
+//
+// Flow sizes are heavy-tailed Pareto (shape 1.05, mean 100 KB by default):
+// most flows are small, most bytes are in large flows. Flows arrive by a
+// Poisson process with uniformly random source and destination servers.
+// The offered load L = F / (R * N * tau) where F is mean flow size, R the
+// per-server rate, N the server count and tau the mean inter-arrival time;
+// given L we solve for tau.
+#pragma once
+
+#include <cstdint>
+
+#include "common/distributions.hpp"
+#include "workload/flow.hpp"
+
+namespace sirius::workload {
+
+struct GeneratorConfig {
+  std::int32_t servers = 3072;
+  DataRate server_rate = DataRate::gbps(50);
+  double load = 0.5;                 ///< L of §7 (1.0 = 100 %)
+  double pareto_shape = 1.05;
+  DataSize mean_flow_size = DataSize::kilobytes(100);
+  std::int64_t flow_count = 200'000;
+  std::uint64_t seed = 1;
+  /// Cap on a single flow's size; the Pareto(1.05) tail is near-infinite
+  /// so production-style traces cap at some maximum transfer. 0 = no cap.
+  DataSize max_flow_size = DataSize::megabytes(100);
+};
+
+/// Mean inter-arrival time tau that realises load L for the config.
+Time mean_interarrival_for_load(const GeneratorConfig& cfg);
+
+/// Generates `cfg.flow_count` flows.
+Workload generate(const GeneratorConfig& cfg);
+
+}  // namespace sirius::workload

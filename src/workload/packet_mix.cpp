@@ -1,0 +1,73 @@
+#include "workload/packet_mix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sirius::workload {
+
+PacketMix PacketMix::cloud_trace_2019() {
+  return PacketMix({
+      {DataSize::bytes(128), 0.340},
+      {DataSize::bytes(576), 0.638},
+      {DataSize::bytes(1500), 0.022},
+  });
+}
+
+PacketMix PacketMix::memcached() {
+  return PacketMix({
+      {DataSize::bytes(128), 0.45},
+      {DataSize::bytes(576), 0.46},
+      {DataSize::bytes(1500), 0.09},
+  });
+}
+
+PacketMix::PacketMix(std::vector<PacketSizeBand> bands)
+    : bands_(std::move(bands)) {
+  assert(!bands_.empty());
+  double total = 0.0;
+  for (const auto& b : bands_) total += b.probability;
+  assert(std::fabs(total - 1.0) < 1e-9);
+}
+
+DataSize PacketMix::sample(Rng& rng) const {
+  double u = rng.uniform();
+  DataSize lo = DataSize::bytes(64);  // minimum Ethernet frame
+  for (const auto& b : bands_) {
+    if (u < b.probability) {
+      const auto span = b.max_size.in_bytes() - lo.in_bytes();
+      return DataSize::bytes(
+          lo.in_bytes() +
+          static_cast<std::int64_t>(rng.below(
+              static_cast<std::uint64_t>(std::max<std::int64_t>(1, span)))));
+    }
+    u -= b.probability;
+    lo = b.max_size;
+  }
+  return bands_.back().max_size;
+}
+
+double PacketMix::fraction_at_or_below(DataSize s) const {
+  double f = 0.0;
+  for (const auto& b : bands_) {
+    if (b.max_size <= s) {
+      f += b.probability;
+    }
+  }
+  return f;
+}
+
+Time switch_interval(DataSize packet, DataRate rate) {
+  return rate.transmission_time(packet);
+}
+
+Time max_guardband_for_overhead(DataSize packet, DataRate rate,
+                                double max_overhead) {
+  assert(max_overhead > 0.0 && max_overhead < 1.0);
+  // §2.2 counts overhead relative to the data portion: g / data <= h
+  // (576 B at 50 Gbps with h = 10 % gives the paper's 9.2 ns bound).
+  const double data_ps =
+      static_cast<double>(switch_interval(packet, rate).picoseconds());
+  return Time::ps(static_cast<std::int64_t>(data_ps * max_overhead));
+}
+
+}  // namespace sirius::workload

@@ -1,0 +1,59 @@
+// Packet-size mix model for the §2.2 motivation numbers.
+//
+// The paper's production trace (Mar 2019): >34 % of packets are <128 B and
+// 97.8 % are <=576 B; Facebook's in-memory cache shows >91 % <=576 B. This
+// module generates a packet-size mix with those marginals and derives the
+// switching-overhead arithmetic of §2.2 (an endpoint spraying 576 B packets
+// across destinations at 50 Gb/s should reconfigure every ~92 ns, so a
+// <10 % overhead needs a guardband under ~9.2 ns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius::workload {
+
+/// One band of the packet-size histogram.
+struct PacketSizeBand {
+  DataSize max_size;   ///< inclusive upper edge of the band
+  double probability;  ///< fraction of packets in this band
+};
+
+/// A piecewise packet-size distribution (defaults to the §2.2 cloud trace).
+class PacketMix {
+ public:
+  /// The production-trace mix of §2.2: 34 % < 128 B, 63.8 % in (128, 576],
+  /// 2.2 % larger (up to 1500 B MTU).
+  static PacketMix cloud_trace_2019();
+
+  /// The Facebook in-memory-cache mix [80]: 91 % <= 576 B.
+  static PacketMix memcached();
+
+  explicit PacketMix(std::vector<PacketSizeBand> bands);
+
+  /// Samples one packet size (uniform within the chosen band).
+  DataSize sample(Rng& rng) const;
+
+  /// Fraction of packets at or below `s`.
+  double fraction_at_or_below(DataSize s) const;
+
+  const std::vector<PacketSizeBand>& bands() const { return bands_; }
+
+ private:
+  std::vector<PacketSizeBand> bands_;
+};
+
+/// §2.2 arithmetic: time to serialise one `packet` at `rate` — the interval
+/// between destination switches for a high-fanout sender.
+Time switch_interval(DataSize packet, DataRate rate);
+
+/// §2.2 arithmetic: maximum reconfiguration time that keeps switching
+/// overhead below `max_overhead` for back-to-back `packet`-sized transfers.
+Time max_guardband_for_overhead(DataSize packet, DataRate rate,
+                                double max_overhead);
+
+}  // namespace sirius::workload

@@ -1,0 +1,81 @@
+#include "workload/trace_io.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sirius::workload {
+
+bool save_trace_csv(const Workload& w, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("flow_id,src_server,dst_server,size_bytes,arrival_ps\n", f);
+  bool ok = true;
+  for (const Flow& fl : w.flows) {
+    if (std::fprintf(f, "%" PRId64 ",%d,%d,%" PRId64 ",%" PRId64 "\n",
+                     static_cast<std::int64_t>(fl.id), fl.src_server,
+                     fl.dst_server, fl.size.in_bytes(),
+                     fl.arrival.picoseconds()) < 0) {
+      ok = false;
+      break;
+    }
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<Workload> load_trace_csv(const std::string& path,
+                                       std::int32_t servers,
+                                       DataRate server_rate) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+
+  Workload w;
+  w.servers = servers;
+  w.server_rate = server_rate;
+
+  char line[256];
+  bool first = true;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    std::int64_t id = 0, size = 0, arrival_ps = 0;
+    int src = 0, dst = 0;
+    if (std::sscanf(line, "%" SCNd64 ",%d,%d,%" SCNd64 ",%" SCNd64, &id, &src,
+                    &dst, &size, &arrival_ps) != 5) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    if (src < 0 || src >= servers || dst < 0 || dst >= servers ||
+        src == dst || size <= 0 || arrival_ps < 0) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    Flow fl;
+    fl.id = id;
+    fl.src_server = src;
+    fl.dst_server = dst;
+    fl.size = DataSize::bytes(size);
+    fl.arrival = Time::ps(arrival_ps);
+    w.flows.push_back(fl);
+  }
+  std::fclose(f);
+
+  std::stable_sort(w.flows.begin(), w.flows.end(),
+                   [](const Flow& a, const Flow& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < w.flows.size(); ++i) {
+    w.flows[i].id = static_cast<FlowId>(i);
+  }
+  if (!w.flows.empty()) {
+    std::int64_t total = 0;
+    for (const auto& fl : w.flows) total += fl.size.in_bytes();
+    w.mean_flow_size = DataSize::bytes(
+        total / static_cast<std::int64_t>(w.flows.size()));
+  }
+  return w;
+}
+
+}  // namespace sirius::workload

@@ -1,0 +1,26 @@
+// Workload trace persistence: save/load flow sets as CSV so experiments
+// can be replayed, exchanged, or replaced with real traces.
+//
+// Format (one flow per line, header included):
+//   flow_id,src_server,dst_server,size_bytes,arrival_ps
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "workload/flow.hpp"
+
+namespace sirius::workload {
+
+/// Writes `w` to `path`. Returns false on I/O failure.
+bool save_trace_csv(const Workload& w, const std::string& path);
+
+/// Loads a workload from `path`. `servers` and `server_rate` describe the
+/// deployment the trace targets (the CSV stores only flows). Flows are
+/// sorted by arrival and re-numbered 0..F-1. Returns nullopt on parse or
+/// I/O failure.
+std::optional<Workload> load_trace_csv(const std::string& path,
+                                       std::int32_t servers,
+                                       DataRate server_rate);
+
+}  // namespace sirius::workload

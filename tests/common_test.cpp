@@ -1,0 +1,247 @@
+// Unit tests for common/: time, units, rng, distributions, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/config.hpp"
+#include "common/distributions.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius {
+namespace {
+
+using namespace sirius::literals;
+
+TEST(Time, FactoryUnitsAgree) {
+  EXPECT_EQ(Time::ns(1).picoseconds(), 1'000);
+  EXPECT_EQ(Time::us(1), Time::ns(1'000));
+  EXPECT_EQ(Time::ms(1), Time::us(1'000));
+  EXPECT_EQ(Time::sec(1), Time::ms(1'000));
+  EXPECT_EQ(100_ns, Time::ps(100'000));
+}
+
+TEST(Time, FromDoubleRounds) {
+  EXPECT_EQ(Time::from_ns(3.84).picoseconds(), 3'840);
+  EXPECT_EQ(Time::from_ns(0.9121).picoseconds(), 912);
+  EXPECT_EQ(Time::from_sec(1e-12).picoseconds(), 1);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = 90_ns, b = 10_ns;
+  EXPECT_EQ(a + b, 100_ns);
+  EXPECT_EQ(a - b, 80_ns);
+  EXPECT_EQ(a * 2, 180_ns);
+  EXPECT_EQ((a + b) / 10_ns, 10);
+  EXPECT_EQ((a + b) % 30_ns, 10_ns);
+  EXPECT_LT(b, a);
+}
+
+TEST(Time, InfinityBehaves) {
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_GT(Time::infinity(), Time::sec(1'000'000));
+  EXPECT_EQ(Time::infinity().to_string(), "inf");
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(Time::ps(500).to_string(), "500 ps");
+  EXPECT_NE(Time::ns(100).to_string().find("ns"), std::string::npos);
+  EXPECT_NE(Time::us(3).to_string().find("us"), std::string::npos);
+  EXPECT_NE(Time::ms(2).to_string().find("ms"), std::string::npos);
+}
+
+TEST(DataSize, Conversions) {
+  EXPECT_EQ(DataSize::kilobytes(100).in_bytes(), 100'000);
+  EXPECT_EQ(DataSize::bytes(562).in_bits(), 4'496);
+  EXPECT_EQ(DataSize::megabytes(1), DataSize::kilobytes(1'000));
+}
+
+TEST(DataRate, TransmissionTime) {
+  // 562 B at 50 Gbps = 89.92 ns.
+  const Time t = DataRate::gbps(50).transmission_time(DataSize::bytes(562));
+  EXPECT_NEAR(t.to_ns(), 89.92, 0.01);
+  // 576 B at 50 Gbps = 92.16 ns (the §2.2 switch interval).
+  const Time u = DataRate::gbps(50).transmission_time(DataSize::bytes(576));
+  EXPECT_NEAR(u.to_ns(), 92.16, 0.01);
+}
+
+TEST(DataRate, BytesInWindowInvertsTransmission) {
+  const DataRate r = DataRate::gbps(50);
+  const DataSize s = r.bytes_in(Time::ns(90));
+  EXPECT_EQ(s.in_bytes(), 562);  // 90 ns * 50 Gbps / 8 = 562.5 -> 562
+}
+
+TEST(DataRate, Arithmetic) {
+  EXPECT_EQ(DataRate::gbps(50) * 8, DataRate::gbps(400));
+  EXPECT_EQ(DataRate::gbps(400) / 24, DataRate::bps(16'666'666'666));
+  EXPECT_DOUBLE_EQ(DataRate::tbps(1) / DataRate::gbps(500), 2.0);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  EXPECT_NE(a(), c());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng r(7);
+  constexpr int kBuckets = 10;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, BetweenCoversRangeInclusive) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(r.between(5, 8));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{5, 6, 7, 8}));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(9);
+  Rng b = a.fork();
+  // Streams should differ immediately.
+  EXPECT_NE(a(), b());
+}
+
+TEST(Pareto, MeanMatchesConfiguration) {
+  ParetoDistribution p(1.5, 100'000.0);  // shape 1.5 has finite variance
+  Rng r(11);
+  double sum = 0.0;
+  constexpr int kDraws = 400'000;
+  for (int i = 0; i < kDraws; ++i) sum += p.sample(r);
+  EXPECT_NEAR(sum / kDraws, 100'000.0, 5'000.0);
+}
+
+TEST(Pareto, ShapeParametersExposed) {
+  // The paper's flow-size distribution: shape 1.05, mean 100 KB.
+  ParetoDistribution p(1.05, 100'000.0);
+  EXPECT_NEAR(p.scale(), 100'000.0 * 0.05 / 1.05, 1.0);
+  // Median of Pareto(1.05) is far below the mean: heavy tail.
+  EXPECT_LT(p.median(), 10'000.0);
+  EXPECT_NEAR(p.median(), p.scale() * std::pow(2.0, 1.0 / 1.05), 1.0);
+}
+
+TEST(Pareto, SamplesNeverBelowScale) {
+  ParetoDistribution p(1.05, 100'000.0);
+  Rng r(5);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(p.sample(r), p.scale());
+}
+
+TEST(Exponential, MeanMatches) {
+  ExponentialDistribution e(250.0);
+  Rng r(13);
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += e.sample(r);
+  EXPECT_NEAR(sum / kDraws, 250.0, 5.0);
+}
+
+TEST(Normal, MomentsMatch) {
+  NormalDistribution n(10.0, 2.0);
+  Rng r(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = n.sample(r);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / kDraws - mean * mean), 2.0, 0.05);
+}
+
+TEST(LogNormal, MedianAndTailCalibration) {
+  auto d = LogNormalDistribution::from_median_and_tail(250.0, 2.0);
+  Rng r(19);
+  PercentileTracker t;
+  for (int i = 0; i < 200'000; ++i) t.add(d.sample(r));
+  EXPECT_NEAR(t.median(), 250.0, 10.0);
+  EXPECT_NEAR(t.percentile(99.9), 500.0, 50.0);
+}
+
+TEST(PoissonProcess, RateMatches) {
+  Rng r(23);
+  PoissonProcess p(Time::ns(100), r);
+  Time last = Time::zero();
+  constexpr int kEvents = 100'000;
+  for (int i = 0; i < kEvents; ++i) last = p.next();
+  EXPECT_NEAR(last.to_ns() / kEvents, 100.0, 2.0);
+}
+
+TEST(PercentileTracker, ExactSmallCases) {
+  PercentileTracker t;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) t.add(v);
+  EXPECT_DOUBLE_EQ(t.min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 5.0);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(t.percentile(75.0), 4.0);
+}
+
+TEST(PercentileTracker, InterpolatesBetweenRanks) {
+  PercentileTracker t;
+  t.add(0.0);
+  t.add(10.0);
+  EXPECT_DOUBLE_EQ(t.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.percentile(99.0), 9.9);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h(0.0, 1.0, 10);
+  Rng r(29);
+  for (int i = 0; i < 10'000; ++i) h.add(r.uniform());
+  double prev = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    EXPECT_GE(h.cdf_at(b), prev);
+    prev = h.cdf_at(b);
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(h.bins() - 1), 1.0);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(3), 1u);
+}
+
+TEST(PeakTracker, TracksPeakAndMean) {
+  PeakTracker p;
+  p.observe(1.0);
+  p.observe(5.0);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.peak(), 5.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 3.0);
+}
+
+TEST(EnvConfig, ParsesAndDefaults) {
+  ::setenv("SIRIUS_TEST_INT", "128", 1);
+  ::setenv("SIRIUS_TEST_DBL", "2.5", 1);
+  ::setenv("SIRIUS_TEST_BAD", "12abc", 1);
+  EXPECT_EQ(env_int_or("SIRIUS_TEST_INT", 1), 128);
+  EXPECT_DOUBLE_EQ(env_double_or("SIRIUS_TEST_DBL", 1.0), 2.5);
+  EXPECT_EQ(env_int_or("SIRIUS_TEST_BAD", 7), 7);
+  EXPECT_EQ(env_int_or("SIRIUS_TEST_MISSING", 9), 9);
+}
+
+}  // namespace
+}  // namespace sirius

@@ -1,0 +1,173 @@
+// Tests for the idealised ESN baselines (fluid + packet-level Clos).
+#include <gtest/gtest.h>
+
+#include "esn/fluid_sim.hpp"
+#include "esn/packet_clos_sim.hpp"
+#include "workload/generator.hpp"
+
+namespace sirius::esn {
+namespace {
+
+EsnConfig small_esn(std::int32_t oversub = 1) {
+  EsnConfig cfg;
+  cfg.racks = 8;
+  cfg.servers_per_rack = 4;
+  cfg.server_rate = DataRate::gbps(50);
+  cfg.oversubscription = oversub;
+  return cfg;
+}
+
+workload::Workload explicit_flows(
+    const EsnConfig& cfg,
+    std::vector<std::tuple<std::int32_t, std::int32_t, std::int64_t,
+                           std::int64_t>>
+        specs) {
+  workload::Workload w;
+  w.servers = cfg.servers();
+  w.server_rate = cfg.server_rate;
+  FlowId id = 0;
+  for (const auto& [src, dst, bytes, arrival_ns] : specs) {
+    workload::Flow f;
+    f.id = id++;
+    f.src_server = src;
+    f.dst_server = dst;
+    f.size = DataSize::bytes(bytes);
+    f.arrival = Time::ns(arrival_ns);
+    w.flows.push_back(f);
+  }
+  return w;
+}
+
+workload::Workload synthetic(const EsnConfig& cfg, double load,
+                             std::int64_t flows) {
+  workload::GeneratorConfig g;
+  g.servers = cfg.servers();
+  g.server_rate = cfg.server_rate;
+  g.load = load;
+  g.flow_count = flows;
+  g.max_flow_size = DataSize::megabytes(5);
+  g.seed = 21;
+  return workload::generate(g);
+}
+
+TEST(FluidSim, LoneFlowGetsLineRate) {
+  const EsnConfig cfg = small_esn();
+  // 1 MB at 50 Gbps = 160 us; plus the 2 us base latency.
+  const auto w = explicit_flows(cfg, {{0, 12, 1'000'000, 0}});
+  EsnFluidSim sim(cfg, w);
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed_flows, 1);
+  EXPECT_NEAR(r.fct.all_fct_mean_ms, 0.162, 0.002);
+}
+
+TEST(FluidSim, TwoFlowsToOneDestinationShare) {
+  const EsnConfig cfg = small_esn();
+  // Two senders to the same server: each gets 25 Gbps -> 1 MB in 320 us.
+  const auto w = explicit_flows(
+      cfg, {{0, 12, 1'000'000, 0}, {4, 12, 1'000'000, 0}});
+  EsnFluidSim sim(cfg, w);
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed_flows, 2);
+  EXPECT_NEAR(r.fct.all_fct_mean_ms, 0.322, 0.004);
+}
+
+TEST(FluidSim, MaxMinRedistributesAfterBottleneck) {
+  const EsnConfig cfg = small_esn();
+  // Flow A: 0 -> 12 alone on its source. Flows B, C: 4 -> 12 and 4 -> 13:
+  // B and C share source 4 (25 G each), then A gets the remaining 25 G of
+  // destination 12's NIC. Exact max-min: A=25, B=25, C=25.
+  const auto w = explicit_flows(cfg, {{0, 12, 500'000, 0},
+                                      {4, 12, 500'000, 0},
+                                      {4, 13, 500'000, 0}});
+  EsnFluidSim sim(cfg, w);
+  const auto r = sim.run();
+  // All three at 25 Gbps: 500 KB in 160 us.
+  EXPECT_NEAR(r.fct.all_fct_mean_ms, 0.162, 0.003);
+}
+
+TEST(FluidSim, OversubscriptionThrottlesInterRackOnly) {
+  const EsnConfig osub = small_esn(4);
+  // Four single-flow senders in rack 0 to four distinct remote servers:
+  // rack uplink = 4 x 50 / 4 = 50 Gbps shared -> 12.5 Gbps each.
+  const auto w = explicit_flows(osub, {{0, 8, 500'000, 0},
+                                       {1, 12, 500'000, 0},
+                                       {2, 16, 500'000, 0},
+                                       {3, 20, 500'000, 0}});
+  EsnFluidSim sim(osub, w);
+  const auto r = sim.run();
+  // 500 KB at 12.5 Gbps = 320 us.
+  EXPECT_NEAR(r.fct.all_fct_mean_ms, 0.322, 0.005);
+
+  // The same flows kept intra-rack are not throttled.
+  const auto w2 = explicit_flows(osub, {{0, 1, 500'000, 0},
+                                        {2, 3, 500'000, 0}});
+  EsnFluidSim sim2(osub, w2);
+  EXPECT_NEAR(sim2.run().fct.all_fct_mean_ms, 0.082, 0.003);
+}
+
+TEST(FluidSim, SyntheticLoadCompletes) {
+  const EsnConfig cfg = small_esn();
+  const auto w = synthetic(cfg, 0.5, 4'000);
+  const double offered =
+      static_cast<double>(w.total_bytes().in_bits()) /
+      (static_cast<double>(cfg.server_rate.bits_per_sec()) * cfg.servers() *
+       w.last_arrival().to_sec());
+  EsnFluidSim sim(cfg, w);
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed_flows, 4'000);
+  EXPECT_GT(r.goodput_normalized, offered * 0.6);
+  EXPECT_LE(r.goodput_normalized, 1.0);
+}
+
+TEST(FluidSim, OversubscribedLosesGoodputAtHighLoad) {
+  // Nominal load 3 saturates the fabric despite the flow-size cap; the
+  // 3:1 oversubscribed variant then silos inter-rack traffic (Fig. 9b).
+  const auto w = synthetic(small_esn(), 3.0, 6'000);
+  const double nb = EsnFluidSim(small_esn(1), w).run().goodput_normalized;
+  const double os = EsnFluidSim(small_esn(3), w).run().goodput_normalized;
+  EXPECT_GT(nb, os * 1.15);
+}
+
+TEST(PacketClos, SingleFlowMatchesSerialisation) {
+  PacketClosConfig cfg;
+  cfg.esn = small_esn();
+  const auto w = explicit_flows(cfg.esn, {{0, 12, 150'000, 0}});
+  PacketClosSim sim(cfg, w);
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed_flows, 1);
+  // 150 KB at 50 Gbps = 24 us store-and-forward dominated; plus per-hop
+  // latency and pipelining slack, well under 40 us.
+  EXPECT_LT(r.fct.all_fct_mean_ms, 0.040);
+  EXPECT_GT(r.fct.all_fct_mean_ms, 0.024);
+}
+
+TEST(PacketClos, AgreesWithFluidOnSmallWorkload) {
+  PacketClosConfig pc;
+  pc.esn = small_esn();
+  const auto w = synthetic(pc.esn, 0.4, 800);
+  const auto fluid = EsnFluidSim(pc.esn, w).run();
+  const auto pkt = PacketClosSim(pc, w).run();
+  EXPECT_EQ(fluid.completed_flows, pkt.completed_flows);
+  // The fluid model is the idealisation of the packet simulator: mean FCTs
+  // agree within 35 % and goodput within 20 % on an underloaded network.
+  EXPECT_NEAR(pkt.fct.all_fct_mean_ms, fluid.fct.all_fct_mean_ms,
+              fluid.fct.all_fct_mean_ms * 0.35 + 0.01);
+  EXPECT_NEAR(pkt.goodput_normalized, fluid.goodput_normalized,
+              fluid.goodput_normalized * 0.2 + 0.02);
+}
+
+TEST(PacketClos, FairnessBetweenConcurrentFlows) {
+  PacketClosConfig pc;
+  pc.esn = small_esn();
+  // Two equal flows from distinct sources to one destination, started
+  // together, should finish together (round-robin interleaving).
+  const auto w = explicit_flows(pc.esn, {{0, 12, 300'000, 0},
+                                         {4, 12, 300'000, 0}});
+  PacketClosSim sim(pc, w);
+  const auto r = sim.run();
+  EXPECT_EQ(r.completed_flows, 2);
+  EXPECT_LT(r.fct.all_fct_p99_ms / r.fct.all_fct_mean_ms, 1.1);
+}
+
+}  // namespace
+}  // namespace sirius::esn

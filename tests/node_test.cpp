@@ -1,0 +1,194 @@
+// Unit tests for node/: cells, LOCAL buffer semantics, queues, reordering.
+#include <gtest/gtest.h>
+
+#include "node/cell.hpp"
+#include "node/node.hpp"
+#include "node/reorder_buffer.hpp"
+
+namespace sirius::node {
+namespace {
+
+constexpr DataSize kCell = DataSize::bytes(562);
+const Time kInject = Time::ns(90);  // one cell per 90 ns at 50 Gbps
+
+cc::RequestGrantConfig cc_cfg() { return cc::RequestGrantConfig{8, 4}; }
+
+LocalFlow flow(FlowId id, NodeId dst, DataSize size, Time arrival) {
+  LocalFlow f;
+  f.id = id;
+  f.dst_node = dst;
+  f.dst_server = dst * 10;
+  f.size = size;
+  f.arrival = arrival;
+  f.total_cells = cells_for(size, kCell);
+  return f;
+}
+
+TEST(CellMath, CellsForAndPayload) {
+  EXPECT_EQ(cells_for(DataSize::bytes(1), kCell), 1);
+  EXPECT_EQ(cells_for(DataSize::bytes(562), kCell), 1);
+  EXPECT_EQ(cells_for(DataSize::bytes(563), kCell), 2);
+  EXPECT_EQ(cells_for(DataSize::kilobytes(100), kCell), 178);
+  // Last cell carries the remainder.
+  EXPECT_EQ(payload_of(DataSize::bytes(1'000), kCell, 0), 562);
+  EXPECT_EQ(payload_of(DataSize::bytes(1'000), kCell, 1), 438);
+  EXPECT_EQ(payload_of(DataSize::bytes(46), kCell, 0), 46);
+}
+
+TEST(LocalFlowPacing, CellsReleaseAtLineRate) {
+  const LocalFlow f = flow(0, 1, DataSize::bytes(562 * 10), Time::zero());
+  EXPECT_EQ(f.available(Time::zero(), kInject), 1);
+  EXPECT_EQ(f.available(Time::ns(89), kInject), 1);
+  EXPECT_EQ(f.available(Time::ns(90), kInject), 2);
+  EXPECT_EQ(f.available(Time::ns(900), kInject), 10);
+  EXPECT_EQ(f.available(Time::ms(1), kInject), 10);  // capped at total
+}
+
+TEST(Node, PendingDstsRoundRobinAcrossFlows) {
+  Node n(0, cc_cfg(), kCell);
+  n.add_flow(flow(0, 3, DataSize::bytes(562 * 2), Time::zero()));
+  n.add_flow(flow(1, 5, DataSize::bytes(562), Time::zero()));
+  // One cell per flow first (credit-based fairness), then the remainder.
+  const auto all = n.pending_cell_dsts(Time::us(1), kInject, 100);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 3);
+  EXPECT_EQ(all[1], 5);
+  EXPECT_EQ(all[2], 3);
+  EXPECT_EQ(n.pending_cell_dsts(Time::us(1), kInject, 2).size(), 2u);
+}
+
+TEST(Node, PendingDstsFairAcrossServers) {
+  // An elephant on server 1 must not dilute server 2's lone flow: the
+  // two-level round-robin alternates servers first.
+  Node n(0, cc_cfg(), kCell);
+  LocalFlow elephant = flow(0, 3, DataSize::bytes(562 * 50), Time::zero());
+  elephant.src_server = 1;
+  LocalFlow mouse = flow(1, 5, DataSize::bytes(562 * 2), Time::zero());
+  mouse.src_server = 2;
+  n.add_flow(elephant);
+  n.add_flow(mouse);
+  const auto dsts = n.pending_cell_dsts(Time::us(100), kInject, 6);
+  ASSERT_EQ(dsts.size(), 6u);
+  // Alternating until the mouse runs out: 3,5,3,5,3,3.
+  EXPECT_EQ(dsts[0], 3);
+  EXPECT_EQ(dsts[1], 5);
+  EXPECT_EQ(dsts[2], 3);
+  EXPECT_EQ(dsts[3], 5);
+  EXPECT_EQ(dsts[4], 3);
+  EXPECT_EQ(dsts[5], 3);
+}
+
+TEST(Node, PendingRespectsInjectionPacing) {
+  Node n(0, cc_cfg(), kCell);
+  n.add_flow(flow(0, 3, DataSize::bytes(562 * 100), Time::zero()));
+  // At t=0 only the first cell has crossed the server link.
+  EXPECT_EQ(n.pending_cell_dsts(Time::zero(), kInject, 100).size(), 1u);
+  EXPECT_EQ(n.pending_cell_dsts(Time::ns(450), kInject, 100).size(), 6u);
+}
+
+TEST(Node, TakeCellForCutsInFifoOrderWithSeqs) {
+  Node n(0, cc_cfg(), kCell);
+  n.add_flow(flow(7, 3, DataSize::bytes(562 * 2), Time::zero()));
+  const Time late = Time::us(10);
+  auto c0 = n.take_cell_for(3, late, kInject);
+  ASSERT_TRUE(c0.has_value());
+  EXPECT_EQ(c0->flow, 7);
+  EXPECT_EQ(c0->seq, 0);
+  EXPECT_EQ(c0->dst_node, 3);
+  auto c1 = n.take_cell_for(3, late, kInject);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->seq, 1);
+  EXPECT_FALSE(n.take_cell_for(3, late, kInject).has_value());
+  EXPECT_FALSE(n.has_unfinished_flows());
+}
+
+TEST(Node, TakeCellForWrongDstFails) {
+  Node n(0, cc_cfg(), kCell);
+  n.add_flow(flow(0, 3, DataSize::bytes(562), Time::zero()));
+  EXPECT_FALSE(n.take_cell_for(4, Time::us(1), kInject).has_value());
+  EXPECT_TRUE(n.take_cell_for(3, Time::us(1), kInject).has_value());
+}
+
+TEST(Node, OldestFlowServedFirstPerDestination) {
+  Node n(0, cc_cfg(), kCell);
+  n.add_flow(flow(1, 3, DataSize::bytes(562), Time::zero()));
+  n.add_flow(flow(2, 3, DataSize::bytes(562), Time::ns(1)));
+  auto c = n.take_cell_for(3, Time::us(1), kInject);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->flow, 1);
+}
+
+TEST(Node, SprayRoundRobinsAcrossFlows) {
+  Node n(0, cc_cfg(), kCell);
+  n.add_flow(flow(1, 3, DataSize::bytes(562 * 4), Time::zero()));
+  n.add_flow(flow(2, 5, DataSize::bytes(562 * 4), Time::zero()));
+  const Time late = Time::us(10);
+  auto a = n.take_any_cell(late, kInject);
+  auto b = n.take_any_cell(late, kInject);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->flow, b->flow);  // strict alternation between the two flows
+  auto c = n.take_any_cell(late, kInject);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->flow, a->flow);
+}
+
+TEST(Node, QueueGaugesTrackVqAndFq) {
+  Node n(0, cc_cfg(), kCell);
+  Cell c{};
+  c.flow = 1;
+  c.dst_node = 3;
+  c.payload_bytes = 100;
+  n.push_vq(2, c);
+  n.push_fq(3, c);
+  EXPECT_EQ(n.current_queue_bytes(), 2 * 562);
+  EXPECT_EQ(n.peak_queue_bytes(), 2 * 562);
+  EXPECT_TRUE(n.pop_vq(2).has_value());
+  EXPECT_FALSE(n.pop_vq(2).has_value());
+  EXPECT_EQ(n.fq_depth(3), 1);
+  EXPECT_TRUE(n.pop_fq(3).has_value());
+  EXPECT_EQ(n.current_queue_bytes(), 0);
+  EXPECT_EQ(n.peak_queue_bytes(), 2 * 562);  // peak is sticky
+}
+
+TEST(ReorderBuffer, InOrderPassthrough) {
+  ReorderBuffer rb(3);
+  EXPECT_EQ(rb.on_arrival(0, 562), 1);
+  EXPECT_EQ(rb.on_arrival(1, 562), 1);
+  EXPECT_EQ(rb.on_arrival(2, 100), 1);
+  EXPECT_TRUE(rb.complete());
+  EXPECT_EQ(rb.peak_buffered_bytes(), 0);
+}
+
+TEST(ReorderBuffer, OutOfOrderBuffersAndReleases) {
+  ReorderBuffer rb(4);
+  EXPECT_EQ(rb.on_arrival(2, 562), 0);
+  EXPECT_EQ(rb.on_arrival(1, 562), 0);
+  EXPECT_EQ(rb.buffered_cells(), 2);
+  EXPECT_EQ(rb.peak_buffered_bytes(), 2 * 562);
+  // Seq 0 releases 0,1,2 at once.
+  EXPECT_EQ(rb.on_arrival(0, 562), 3);
+  EXPECT_EQ(rb.buffered_cells(), 0);
+  EXPECT_FALSE(rb.complete());
+  EXPECT_EQ(rb.on_arrival(3, 10), 1);
+  EXPECT_TRUE(rb.complete());
+}
+
+TEST(ReorderBuffer, DuplicatesIgnored) {
+  ReorderBuffer rb(2);
+  rb.on_arrival(0, 562);
+  EXPECT_EQ(rb.on_arrival(0, 562), 0);
+  rb.on_arrival(1, 562);
+  EXPECT_TRUE(rb.complete());
+}
+
+TEST(ReorderBuffer, PeakSurvivesRelease) {
+  ReorderBuffer rb(10);
+  for (std::int32_t s = 9; s >= 1; --s) rb.on_arrival(s, 562);
+  EXPECT_EQ(rb.peak_buffered_bytes(), 9 * 562);
+  rb.on_arrival(0, 562);
+  EXPECT_TRUE(rb.complete());
+  EXPECT_EQ(rb.peak_buffered_bytes(), 9 * 562);
+}
+
+}  // namespace
+}  // namespace sirius::node

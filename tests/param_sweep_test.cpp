@@ -1,0 +1,188 @@
+// Cross-module parameterised property sweeps (TEST_P): device models,
+// codecs and protocols must hold their invariants across their whole
+// configuration space, not just the paper's operating point.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fec/reed_solomon.hpp"
+#include "frame/cell_frame.hpp"
+#include "optical/awgr.hpp"
+#include "optical/dsdbr_laser.hpp"
+#include "optical/crosstalk.hpp"
+#include "phy/slot_geometry.hpp"
+#include "sync/sync_protocol.hpp"
+
+namespace sirius {
+namespace {
+
+// ---------------------------------------------------------------- AWGR --
+
+class AwgrPortSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(AwgrPortSweep, CyclicRoutingIsAlwaysAPermutationFamily) {
+  const std::int32_t ports = GetParam();
+  optical::Awgr g(ports);
+  for (WavelengthId w = 0; w < ports; ++w) {
+    std::vector<bool> hit(static_cast<std::size_t>(ports), false);
+    for (std::int32_t in = 0; in < ports; ++in) {
+      const std::int32_t out = g.route(in, w);
+      ASSERT_GE(out, 0);
+      ASSERT_LT(out, ports);
+      ASSERT_FALSE(hit[static_cast<std::size_t>(out)]);
+      hit[static_cast<std::size_t>(out)] = true;
+      ASSERT_EQ(g.wavelength_for(in, out), w);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ports, AwgrPortSweep,
+                         ::testing::Values(2, 3, 16, 100, 128, 512));
+
+// --------------------------------------------------------------- DSDBR --
+
+class DsdbrRangeSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(DsdbrRangeSweep, WorstCaseAtConfiguredBoundAndSymmetricFloor) {
+  optical::DsdbrConfig cfg;
+  cfg.wavelengths = GetParam();
+  optical::DsdbrLaser l(cfg);
+  const Time worst = l.worst_case_latency();
+  EXPECT_LE(worst, cfg.dampened_worst_case);
+  EXPECT_GE(worst, cfg.dampened_worst_case / 2);  // attained near full span
+  // Latency is bounded below by the drive-electronics floor and above by
+  // the configured worst case for every pair.
+  for (WavelengthId i = 0; i < cfg.wavelengths; i += 7) {
+    for (WavelengthId j = 0; j < cfg.wavelengths; j += 5) {
+      if (i == j) continue;
+      const Time t = l.tuning_latency(i, j);
+      EXPECT_GE(t, Time::ns(2));
+      EXPECT_LE(t, cfg.dampened_worst_case);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, DsdbrRangeSweep,
+                         ::testing::Values(8, 16, 56, 112));
+
+// ----------------------------------------------------------------- FEC --
+
+class RsProfileSweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, std::int32_t>> {
+};
+
+TEST_P(RsProfileSweep, CorrectsExactlyUpToT) {
+  const auto [n, k] = GetParam();
+  fec::ReedSolomon rs(n, k);
+  Rng rng(static_cast<std::uint64_t>(n * 1'000 + k));
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(k));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  auto code = rs.encode(data);
+  // Inject exactly t errors at spread positions.
+  for (std::int32_t e = 0; e < rs.t(); ++e) {
+    code[static_cast<std::size_t>((e * 37) % n)] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+  }
+  const auto decoded = rs.decode(code);
+  ASSERT_TRUE(decoded.has_value()) << "RS(" << n << "," << k << ")";
+  EXPECT_EQ(*decoded, data);
+  EXPECT_EQ(rs.last_corrections(), rs.t());
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, RsProfileSweep,
+                         ::testing::Values(std::make_tuple(255, 223),
+                                           std::make_tuple(255, 239),
+                                           std::make_tuple(64, 32),
+                                           std::make_tuple(16, 8),
+                                           std::make_tuple(254, 224)));
+
+// --------------------------------------------------------------- Frame --
+
+class FrameCellSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FrameCellSweep, RoundTripAtEveryCellSize) {
+  // The Fig. 11 sweep rescales cells from 56 B to 2.2 KB; the wire format
+  // must round-trip at each geometry.
+  frame::CellCodec codec(DataSize::bytes(GetParam()), 4);
+  frame::CellFrame f;
+  f.flow = 123456;
+  f.seq = 9;
+  f.src_node = 63;
+  f.dst_node = 1;
+  f.cc = {frame::CcSignal::Kind::kRequest, 17};
+  const auto cap = static_cast<std::size_t>(codec.payload_capacity());
+  for (std::size_t i = 0; i < std::min<std::size_t>(cap, 64); ++i) {
+    f.payload.push_back(static_cast<std::uint8_t>(i));
+  }
+  const auto decoded = codec.decode(codec.encode(f));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, FrameCellSweep,
+                         ::testing::Values(56, 112, 281, 562, 1124, 2248));
+
+// ---------------------------------------------------------------- Sync --
+
+class SyncScaleSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(SyncScaleSweep, AccuracyHoldsAcrossFleetSizes) {
+  sync::SyncProtocolConfig cfg;
+  cfg.nodes = GetParam();
+  sync::SyncProtocolSim sim(cfg, 99);
+  const auto r = sim.run(60'000, 10'000);
+  EXPECT_LE(r.max_pairwise_offset_ps, 6.0) << cfg.nodes << " nodes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleet, SyncScaleSweep,
+                         ::testing::Values(2, 4, 16, 48));
+
+// ---------------------------------------------------------- Crosstalk --
+
+class CrosstalkIsolationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrosstalkIsolationSweep, PenaltyMonotoneAndRadixConsistent) {
+  optical::CrosstalkConfig cfg;
+  cfg.adjacent_isolation_db = GetParam();
+  cfg.nonadjacent_isolation_db = GetParam() + 10.0;
+  optical::CrosstalkModel m(cfg);
+  double prev = -1.0;
+  for (const std::int32_t p : {2, 8, 32, 128, 512}) {
+    const double pen = m.power_penalty_db(p);
+    EXPECT_GE(pen, prev);
+    prev = pen;
+  }
+  // The reported max radix indeed satisfies the margin, and +1 violates it.
+  const std::int32_t radix = m.max_ports_within_penalty(2.0, 2'048);
+  EXPECT_LE(m.power_penalty_db(radix), 2.0);
+  if (radix < 2'048) {
+    EXPECT_GT(m.power_penalty_db(radix + 1), 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Isolation, CrosstalkIsolationSweep,
+                         ::testing::Values(18.0, 22.0, 27.0, 33.0));
+
+// ------------------------------------------------------- SlotGeometry --
+
+class SlotRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SlotRateSweep, GuardFractionHoldsAcrossLineRates) {
+  const DataRate rate = DataRate::gbps(GetParam());
+  for (const std::int64_t g_ns : {2, 10, 40}) {
+    const auto geo =
+        phy::SlotGeometry::with_guardband_fraction(Time::ns(g_ns), rate);
+    EXPECT_NEAR(geo.guard_overhead(), 0.10, 0.02)
+        << rate.to_string() << " @ " << g_ns << " ns";
+    EXPECT_GT(geo.cell_size().in_bytes(), 0);
+    EXPECT_NEAR(geo.effective_rate().bits_per_sec() /
+                    static_cast<double>(rate.bits_per_sec()),
+                0.9, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SlotRateSweep,
+                         ::testing::Values(25.0, 50.0, 100.0, 200.0));
+
+}  // namespace
+}  // namespace sirius

@@ -1,0 +1,160 @@
+// Unit tests for phy/: slot geometry, phase-caching CDR, transceiver budget.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "phy/amplitude_cache.hpp"
+#include "phy/cdr.hpp"
+#include "phy/slot_geometry.hpp"
+#include "phy/transceiver.hpp"
+
+namespace sirius::phy {
+namespace {
+
+using namespace sirius::literals;
+
+TEST(SlotGeometry, PaperDefault) {
+  // §7: 562 B cells at 50 Gbps -> ~90 ns data + 10 ns guard = ~100 ns slot.
+  const SlotGeometry g = default_slot_geometry();
+  EXPECT_NEAR(g.data_time().to_ns(), 89.92, 0.01);
+  EXPECT_NEAR(g.slot_duration().to_ns(), 99.92, 0.01);
+  EXPECT_NEAR(g.guard_overhead(), 0.10, 0.005);
+}
+
+TEST(SlotGeometry, EffectiveRateLosesGuardband) {
+  const SlotGeometry g = default_slot_geometry();
+  EXPECT_NEAR(g.effective_rate().in_gbps(), 50.0 * 0.9, 0.1);
+}
+
+TEST(SlotGeometry, WithGuardbandFractionKeepsTenPercent) {
+  for (const Time guard : {1_ns, 5_ns, 10_ns, 20_ns, 40_ns}) {
+    const auto g =
+        SlotGeometry::with_guardband_fraction(guard, DataRate::gbps(50));
+    EXPECT_NEAR(g.guard_overhead(), 0.10, 0.01) << guard.to_string();
+    EXPECT_EQ(g.guardband(), guard);
+  }
+  // Fig. 11's default point recovers the 562 B cell.
+  const auto g10 =
+      SlotGeometry::with_guardband_fraction(10_ns, DataRate::gbps(50));
+  EXPECT_EQ(g10.cell_size().in_bytes(), 562);
+}
+
+TEST(SlotGeometry, SlotIndexing) {
+  const SlotGeometry g = default_slot_geometry();
+  EXPECT_EQ(g.slot_index(Time::zero()), 0);
+  EXPECT_EQ(g.slot_index(g.slot_duration()), 1);
+  EXPECT_EQ(g.slot_start(5), g.slot_duration() * 5);
+  EXPECT_EQ(g.slot_index(g.slot_start(7) + 1_ns), 7);
+}
+
+TEST(SlotGeometry, MinimumViableSlot) {
+  // §4.5: with a 3.84 ns guardband, slots as short as 38 ns are possible.
+  const auto g = SlotGeometry::with_guardband_fraction(Time::from_ns(3.84),
+                                                       DataRate::gbps(50));
+  EXPECT_NEAR(g.slot_duration().to_ns(), 38.4, 0.5);
+}
+
+TEST(Cdr, ColdThenCached) {
+  PhaseCachingCdr cdr(8);
+  const Time t0 = Time::zero();
+  // First burst from a sender: full acquisition.
+  EXPECT_EQ(cdr.on_burst(3, t0), cdr.config().cold_lock);
+  // A burst one epoch later: cache is fresh, sub-ns lock.
+  EXPECT_EQ(cdr.on_burst(3, t0 + Time::us(13)), cdr.config().cached_lock);
+  EXPECT_EQ(cdr.fast_locks(), 1);
+  EXPECT_EQ(cdr.cold_locks(), 1);
+}
+
+TEST(Cdr, CacheIsPerSender) {
+  PhaseCachingCdr cdr(4);
+  cdr.on_burst(0, Time::zero());
+  EXPECT_FALSE(cdr.cache_fresh(1, Time::us(1)));
+  EXPECT_TRUE(cdr.cache_fresh(0, Time::us(1)));
+}
+
+TEST(Cdr, StaleCacheForcesReacquisition) {
+  CdrConfig cfg;
+  cfg.residual_freq_offset = 1e-6;  // poor synchronisation
+  PhaseCachingCdr cdr(2, cfg);
+  cdr.on_burst(0, Time::zero());
+  // After 100 ms the phase has drifted far beyond a UI fraction.
+  EXPECT_FALSE(cdr.cache_fresh(0, Time::ms(100)));
+  EXPECT_EQ(cdr.on_burst(0, Time::ms(100)), cfg.cold_lock);
+}
+
+TEST(Cdr, DriftArithmetic) {
+  CdrConfig cfg;
+  cfg.residual_freq_offset = 1e-9;
+  cfg.symbol_rate_gbaud = 25.0;
+  PhaseCachingCdr cdr(2, cfg);
+  cdr.on_burst(0, Time::zero());
+  // 1e-9 offset for 1 ms at 25 GBaud = 25e9 * 1e-3 * 1e-9 = 0.025 UI.
+  EXPECT_NEAR(cdr.phase_drift_ui(0, Time::ms(1)), 0.025, 1e-6);
+}
+
+TEST(AmplitudeCache, ColdThenCached) {
+  AmplitudeCache ac(8);
+  const auto p = optical::OpticalPower::dbm(-6.0);
+  EXPECT_EQ(ac.on_burst(2, p), ac.config().cold_settle);
+  EXPECT_EQ(ac.on_burst(2, p), ac.config().cached_settle);
+  EXPECT_EQ(ac.fast_settles(), 1);
+  EXPECT_EQ(ac.cold_settles(), 1);
+}
+
+TEST(AmplitudeCache, PerSenderEntries) {
+  AmplitudeCache ac(4);
+  ac.on_burst(0, optical::OpticalPower::dbm(-5.0));
+  EXPECT_FALSE(ac.cache_valid(1, optical::OpticalPower::dbm(-5.0)));
+  EXPECT_TRUE(ac.cache_valid(0, optical::OpticalPower::dbm(-5.0)));
+}
+
+TEST(AmplitudeCache, PowerDriftBeyondToleranceForcesReacquire) {
+  AmplitudeCacheConfig cfg;
+  cfg.tolerance_db = 1.0;
+  AmplitudeCache ac(2, cfg);
+  ac.on_burst(0, optical::OpticalPower::dbm(-6.0));
+  // Within 1 dB: fast.
+  EXPECT_EQ(ac.on_burst(0, optical::OpticalPower::dbm(-6.8)),
+            cfg.cached_settle);
+  // A 3 dB jump (e.g. laser-share change): cold reacquisition.
+  EXPECT_EQ(ac.on_burst(0, optical::OpticalPower::dbm(-3.8)),
+            cfg.cold_settle);
+}
+
+std::unique_ptr<optical::TunableSource> make_fast_laser(Rng& rng) {
+  return std::make_unique<optical::FixedBankLaser>(112, optical::SoaConfig{},
+                                                   rng);
+}
+
+TEST(Transceiver, BudgetBelowTenNanoseconds) {
+  // §4.5 target: end-to-end reconfiguration < 10 ns; prototype: 3.84 ns.
+  Rng rng(1);
+  Transceiver t(make_fast_laser(rng), 128);
+  const GuardbandBudget b = t.reconfiguration_budget();
+  EXPECT_LE(b.laser_tuning, Time::ps(912));
+  EXPECT_LT(b.total(), Time::ns(10));
+  EXPECT_LE(b.total(), Time::from_ns(3.84) + Time::ps(100));
+  EXPECT_GE(b.total(), Time::ns(3));  // the prototype's figure, not less
+}
+
+TEST(Transceiver, ReconfigureConsumesGuardbandScale) {
+  Rng rng(2);
+  Transceiver t(make_fast_laser(rng), 16);
+  // Warm the phase cache for sender 5.
+  t.reconfigure(3, 5, Time::zero());
+  const Time gap = t.reconfigure(7, 5, Time::us(13));
+  EXPECT_LT(gap, Time::ns(10));
+}
+
+TEST(Transceiver, SlowLaserDominatesBudget) {
+  // With an off-the-shelf DSDBR, the budget explodes to ~10 ms, which is
+  // why the disaggregated laser exists.
+  auto slow_cfg = optical::DsdbrConfig{};
+  slow_cfg.drive = optical::DriveMode::kOffTheShelf;
+  auto laser = std::make_unique<optical::DsdbrLaser>(slow_cfg);
+  Transceiver t(std::move(laser), 16);
+  EXPECT_GE(t.reconfiguration_budget().total(), Time::ms(9));
+}
+
+}  // namespace
+}  // namespace sirius::phy

@@ -1,0 +1,140 @@
+// Tests for the §2/§5 power and cost models against the paper's numbers.
+#include <gtest/gtest.h>
+
+#include "powercost/cost_model.hpp"
+#include "powercost/power_model.hpp"
+
+namespace sirius::powercost {
+namespace {
+
+TEST(PowerModel, Fig2aEndpoints) {
+  PowerModel m;
+  // Direct fiber: 50 W/Tbps. Four tiers (2M endpoints): 487 W/Tbps.
+  EXPECT_NEAR(m.esn_power_per_tbps(0), 50.0, 0.1);
+  EXPECT_NEAR(m.esn_power_per_tbps(4), 487.0, 1.0);
+}
+
+TEST(PowerModel, Fig2aMonotone) {
+  PowerModel m;
+  double prev = 0.0;
+  for (std::int32_t tiers = 0; tiers <= 5; ++tiers) {
+    const double p = m.esn_power_per_tbps(tiers);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, TiersForEndpointsMatchesFig2aAxis) {
+  EXPECT_EQ(PowerModel::tiers_for_endpoints(2), 0);
+  EXPECT_EQ(PowerModel::tiers_for_endpoints(64), 1);
+  EXPECT_EQ(PowerModel::tiers_for_endpoints(2'000), 2);
+  EXPECT_EQ(PowerModel::tiers_for_endpoints(65'000), 3);
+  EXPECT_EQ(PowerModel::tiers_for_endpoints(2'000'000), 4);
+}
+
+TEST(PowerModel, HundredPbpsDatacenterNumbers) {
+  // §1/§2: a 100 Pbps network at 487 W/Tbps consumes ~48.7 MW — more than
+  // a 32 MW datacenter allocation.
+  PowerModel m;
+  const double watts = m.esn_power_per_tbps(4) * 100'000.0;  // 100 Pbps
+  EXPECT_NEAR(watts / 1e6, 48.7, 0.2);
+  EXPECT_GT(watts / 1e6, 32.0);
+}
+
+TEST(PowerModel, Fig6aPaperBand) {
+  // Abstract/§5: tunable lasers at 3-5x fixed-laser power => Sirius draws
+  // 23-26 % of the ESN ("74-77 % lower power").
+  PowerModel m;
+  EXPECT_NEAR(m.power_ratio(3.0), 0.235, 0.015);
+  EXPECT_NEAR(m.power_ratio(5.0), 0.255, 0.015);
+  EXPECT_GE(1.0 - m.power_ratio(5.0), 0.74);
+  EXPECT_LE(1.0 - m.power_ratio(3.0), 0.785);
+}
+
+TEST(PowerModel, Fig6aMonotoneInTunableOverhead) {
+  PowerModel m;
+  double prev = 0.0;
+  for (double k : {1.0, 3.0, 5.0, 7.0, 10.0, 20.0}) {
+    const double r = m.power_ratio(k);
+    EXPECT_GT(r, prev);
+    EXPECT_LT(r, 1.0);  // Sirius never loses on power in this range
+    prev = r;
+  }
+}
+
+TEST(CostModel, EsnBaselinePerTbps) {
+  CostModel m;
+  // 7 switch traversals at $195/Tbps + 14 transceivers at $1000/Tbps.
+  EXPECT_NEAR(m.esn_cost_per_tbps(), 7.0 * 5'000.0 / 25.6 + 14'000.0, 1.0);
+}
+
+TEST(CostModel, Fig6bHeadlineRatio) {
+  // §5: gratings at 25 % of switch cost and tunable lasers at 3x fixed =>
+  // Sirius costs ~28 % of a non-blocking ESN.
+  CostModel m;
+  EXPECT_NEAR(m.cost_ratio_nonblocking(0.25, 3.0), 0.28, 0.02);
+}
+
+TEST(CostModel, Fig6bMonotoneInGratingCost) {
+  CostModel m;
+  double prev = 0.0;
+  for (double g : {0.05, 0.10, 0.25, 0.50, 0.75, 1.00}) {
+    const double r = m.cost_ratio_nonblocking(g, 3.0);
+    EXPECT_GT(r, prev);
+    EXPECT_LT(r, 0.5);
+    prev = r;
+  }
+}
+
+TEST(CostModel, ErrorBarsAtFiveTimesLaser) {
+  CostModel m;
+  const double at3 = m.cost_ratio_nonblocking(0.25, 3.0);
+  const double at5 = m.cost_ratio_nonblocking(0.25, 5.0);
+  EXPECT_GT(at5, at3);
+  EXPECT_LT(at5, at3 + 0.08);
+}
+
+TEST(CostModel, OversubscribedComparisonStillFavoursSirius) {
+  // §5: Sirius costs ~53 % of a 3:1 oversubscribed ESN while offering
+  // non-blocking connectivity. Our tier accounting lands in the same
+  // region (see EXPERIMENTS.md for the exact figure).
+  CostModel m;
+  const double r = m.cost_ratio_oversubscribed(0.25, 3.0);
+  EXPECT_GT(r, 0.40);
+  EXPECT_LT(r, 0.60);
+  EXPECT_LT(m.sirius_cost_per_tbps(0.25, 3.0),
+            m.esn_oversubscribed_cost_per_tbps(3.0));
+}
+
+TEST(CostModel, ElectricalSiriusVariantCostlier) {
+  // §5: optical Sirius costs ~55 % of the electrically-switched variant of
+  // its own topology.
+  CostModel m;
+  const double ratio =
+      m.sirius_cost_per_tbps(0.25, 3.0) / m.electrical_sirius_cost_per_tbps();
+  EXPECT_GT(ratio, 0.45);
+  EXPECT_LT(ratio, 0.75);
+}
+
+TEST(PowerModel, ParallelPlanesKeepTheAdvantage) {
+  // §4.5: in a post-Moore world the ESN adds hierarchy to scale bandwidth
+  // while parallel Sirius planes scale flat, so the relative advantage
+  // only grows with the bandwidth multiple.
+  PowerModel m;
+  const double now = m.parallel_planes_ratio(3.0, 1.0);
+  const double x8 = m.parallel_planes_ratio(3.0, 8.0);
+  const double x32 = m.parallel_planes_ratio(3.0, 32.0);
+  EXPECT_NEAR(now, m.power_ratio(3.0), 1e-12);
+  EXPECT_LT(x8, now);
+  EXPECT_LT(x32, x8);
+}
+
+TEST(CostModel, OversubscriptionReducesEsnCost) {
+  CostModel m;
+  EXPECT_LT(m.esn_oversubscribed_cost_per_tbps(3.0), m.esn_cost_per_tbps());
+  EXPECT_NEAR(m.esn_oversubscribed_cost_per_tbps(1.0), m.esn_cost_per_tbps(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace sirius::powercost

@@ -1,0 +1,80 @@
+// Unit tests for stats/: FCT tracking, goodput normalisation, occupancy.
+#include <gtest/gtest.h>
+
+#include "stats/fct_tracker.hpp"
+#include "stats/goodput.hpp"
+#include "stats/occupancy.hpp"
+
+namespace sirius::stats {
+namespace {
+
+TEST(FctTracker, ShortFlowThresholdIsHundredKb) {
+  FctTracker t;
+  t.record(DataSize::bytes(99'999), Time::us(10));   // short
+  t.record(DataSize::bytes(100'000), Time::ms(5));   // long (boundary)
+  t.record(DataSize::megabytes(10), Time::ms(50));   // long
+  auto s = t.summarize();
+  EXPECT_EQ(s.completed_flows, 3);
+  EXPECT_EQ(s.short_flows, 1);
+  EXPECT_NEAR(s.short_fct_p99_ms, 0.01, 1e-9);
+  EXPECT_GT(s.all_fct_p99_ms, 40.0);
+}
+
+TEST(FctTracker, PercentilesOverManyFlows) {
+  FctTracker t;
+  for (int i = 1; i <= 1'000; ++i) {
+    t.record(DataSize::bytes(1'000), Time::us(i));
+  }
+  auto s = t.summarize();
+  EXPECT_EQ(s.short_flows, 1'000);
+  EXPECT_NEAR(s.short_fct_p50_ms, 0.5, 0.01);
+  EXPECT_NEAR(s.short_fct_p99_ms, 0.99, 0.01);
+  EXPECT_NEAR(s.short_fct_mean_ms, 0.5, 0.01);
+}
+
+TEST(FctTracker, EmptySummarizes) {
+  FctTracker t;
+  auto s = t.summarize();
+  EXPECT_EQ(s.completed_flows, 0);
+  EXPECT_EQ(s.short_flows, 0);
+  EXPECT_DOUBLE_EQ(s.short_fct_p99_ms, 0.0);
+}
+
+TEST(GoodputMeter, NormalisesByCapacity) {
+  // 4 servers at 100 Gbps for 1 ms = 50 MB capacity.
+  GoodputMeter m(4, DataRate::gbps(100));
+  m.deliver(DataSize::megabytes(25));
+  EXPECT_NEAR(m.normalized(Time::ms(1)), 0.5, 1e-9);
+  m.deliver(DataSize::megabytes(25));
+  EXPECT_NEAR(m.normalized(Time::ms(1)), 1.0, 1e-9);
+}
+
+TEST(GoodputMeter, ZeroWindowIsZero) {
+  GoodputMeter m(4, DataRate::gbps(100));
+  m.deliver(DataSize::megabytes(1));
+  EXPECT_DOUBLE_EQ(m.normalized(Time::zero()), 0.0);
+}
+
+TEST(ByteGauge, PeakIsSticky) {
+  ByteGauge g;
+  g.add(DataSize::bytes(562));
+  g.add(DataSize::bytes(562));
+  g.remove(DataSize::bytes(562));
+  g.add(DataSize::bytes(100));
+  EXPECT_EQ(g.current_bytes(), 662);
+  EXPECT_EQ(g.peak_bytes(), 1'124);
+  EXPECT_NEAR(g.peak_kb(), 1.124, 1e-9);
+}
+
+TEST(OccupancyAggregator, WorstAcrossEntities) {
+  OccupancyAggregator a;
+  a.observe_peak(1'000);
+  a.observe_peak(78'200);  // the paper's worst case, in bytes
+  a.observe_peak(50'000);
+  EXPECT_EQ(a.worst_peak_bytes(), 78'200);
+  EXPECT_NEAR(a.worst_peak_kb(), 78.2, 1e-9);
+  EXPECT_NEAR(a.mean_peak_bytes(), (1'000 + 78'200 + 50'000) / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sirius::stats

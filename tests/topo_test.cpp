@@ -1,0 +1,202 @@
+// Unit tests for topo/: Sirius wiring plan and Clos descriptor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/clos_topology.hpp"
+#include "topo/expander.hpp"
+#include "topo/sirius_topology.hpp"
+
+namespace sirius::topo {
+namespace {
+
+SiriusTopology fig5a() {
+  // Fig. 5a: 4 nodes, 2 uplinks each, 2-port gratings (2 blocks of 2).
+  SiriusTopologyConfig cfg;
+  cfg.nodes = 4;
+  cfg.grating_ports = 2;
+  cfg.replicas = 1;
+  return SiriusTopology(cfg);
+}
+
+TEST(SiriusTopology, Fig5aShape) {
+  const auto t = fig5a();
+  EXPECT_EQ(t.blocks(), 2);
+  EXPECT_EQ(t.uplinks_per_node(), 2);
+  EXPECT_EQ(t.gratings(), 4);
+}
+
+TEST(SiriusTopology, BlockArithmetic) {
+  const auto t = fig5a();
+  EXPECT_EQ(t.block_of(0), 0);
+  EXPECT_EQ(t.block_of(1), 0);
+  EXPECT_EQ(t.block_of(2), 1);
+  EXPECT_EQ(t.index_in_block(3), 1);
+}
+
+TEST(SiriusTopology, EveryUplinkLandsOnDistinctGrating) {
+  const auto t = fig5a();
+  for (NodeId n = 0; n < 4; ++n) {
+    std::set<GratingId> gratings;
+    for (UplinkId u = 0; u < t.uplinks_per_node(); ++u) {
+      gratings.insert(t.tx_attachment(n, u).grating);
+    }
+    EXPECT_EQ(gratings.size(), static_cast<std::size_t>(t.uplinks_per_node()));
+  }
+}
+
+TEST(SiriusTopology, GratingPortsNeverShared) {
+  // No two nodes may drive the same input port of the same grating.
+  const auto t = fig5a();
+  std::set<std::pair<GratingId, std::int32_t>> taken;
+  for (NodeId n = 0; n < 4; ++n) {
+    for (UplinkId u = 0; u < t.uplinks_per_node(); ++u) {
+      const auto att = t.tx_attachment(n, u);
+      EXPECT_TRUE(taken.insert({att.grating, att.input_port}).second)
+          << "node " << n << " uplink " << u;
+    }
+  }
+}
+
+TEST(SiriusTopology, WavelengthRoundTrip) {
+  const auto t = fig5a();
+  for (NodeId src = 0; src < 4; ++src) {
+    for (NodeId dst = 0; dst < 4; ++dst) {
+      for (UplinkId u : t.uplinks_towards(src, dst)) {
+        const WavelengthId w = t.wavelength_to(src, u, dst);
+        EXPECT_EQ(t.destination_of(src, u, w), dst);
+      }
+    }
+  }
+}
+
+TEST(SiriusTopology, FullReachability) {
+  // Every node reaches every other node through some (uplink, wavelength).
+  SiriusTopologyConfig cfg;
+  cfg.nodes = 24;
+  cfg.grating_ports = 8;  // 3 blocks
+  SiriusTopology t(cfg);
+  for (NodeId src = 0; src < cfg.nodes; ++src) {
+    std::set<NodeId> reached;
+    for (UplinkId u = 0; u < t.uplinks_per_node(); ++u) {
+      for (WavelengthId w = 0; w < cfg.grating_ports; ++w) {
+        const NodeId d = t.destination_of(src, u, w);
+        if (d != kInvalidNode) reached.insert(d);
+      }
+    }
+    EXPECT_EQ(reached.size(), 24u);  // includes a path back to itself
+  }
+}
+
+TEST(SiriusTopology, ReplicasAddParallelUplinks) {
+  SiriusTopologyConfig cfg;
+  cfg.nodes = 8;
+  cfg.grating_ports = 4;
+  cfg.replicas = 2;
+  SiriusTopology t(cfg);
+  EXPECT_EQ(t.uplinks_per_node(), 4);
+  EXPECT_EQ(t.gratings(), 8);
+  const auto ups = t.uplinks_towards(0, 5);
+  EXPECT_EQ(ups.size(), 2u);
+  for (UplinkId u : ups) {
+    EXPECT_EQ(t.destination_of(0, u, t.wavelength_to(0, u, 5)), 5);
+  }
+}
+
+TEST(SiriusTopology, PaperScale) {
+  // §4.1: 100-port gratings x 256 uplinks = 25,600 racks.
+  EXPECT_EQ(SiriusTopology::max_scale(100, 256), 25'600);
+  // Modern accelerator server: 48 x 50 Gbps channels on 100-port gratings
+  // connects 4,800 servers.
+  EXPECT_EQ(SiriusTopology::max_scale(100, 48), 4'800);
+  // 4,096 racks through 16-port gratings with 256 uplinks.
+  EXPECT_GE(SiriusTopology::max_scale(16, 256), 4'096);
+}
+
+TEST(SiriusTopology, UplinkBandwidth) {
+  SiriusTopologyConfig cfg;
+  cfg.nodes = 128;
+  cfg.grating_ports = 128;
+  cfg.replicas = 12;  // 12 uplinks on a single-block cluster
+  SiriusTopology t(cfg);
+  EXPECT_EQ(t.uplinks_per_node(), 12);
+  EXPECT_NEAR(t.node_uplink_bandwidth().in_gbps(), 600.0, 0.1);
+}
+
+TEST(ClosTopology, TiersNeeded) {
+  // Fig. 2a x-axis with radix-64 switches: 2 -> 0, 64 -> 1, 2K -> 2,
+  // 65K -> 3, 2M -> 4.
+  EXPECT_EQ(ClosTopology::tiers_needed(2, 64), 0);
+  EXPECT_EQ(ClosTopology::tiers_needed(64, 64), 1);
+  EXPECT_EQ(ClosTopology::tiers_needed(2'048, 64), 2);
+  EXPECT_EQ(ClosTopology::tiers_needed(65'536, 64), 3);
+  EXPECT_EQ(ClosTopology::tiers_needed(2'000'000, 64), 4);
+}
+
+TEST(ClosTopology, RackCapacityAndOversubscription) {
+  ClosConfig cfg;
+  cfg.racks = 128;
+  cfg.servers_per_rack = 24;
+  cfg.server_link = DataRate::gbps(50);
+  ClosTopology nb(cfg);
+  EXPECT_EQ(nb.servers(), 3'072);
+  EXPECT_NEAR(nb.rack_uplink_capacity().in_gbps(), 1'200.0, 0.1);
+
+  cfg.oversubscription = 3;
+  ClosTopology osub(cfg);
+  EXPECT_NEAR(osub.rack_uplink_capacity().in_gbps(), 400.0, 0.1);
+  EXPECT_LT(osub.bisection_bandwidth().in_tbps(),
+            nb.bisection_bandwidth().in_tbps());
+}
+
+TEST(ClosTopology, DeviceCountsGrowWithScale) {
+  ClosConfig small;
+  small.racks = 16;
+  small.servers_per_rack = 16;
+  ClosConfig large;
+  large.racks = 256;
+  large.servers_per_rack = 24;
+  EXPECT_LT(ClosTopology(small).switch_count(),
+            ClosTopology(large).switch_count());
+  EXPECT_LT(ClosTopology(small).transceiver_count(),
+            ClosTopology(large).transceiver_count());
+}
+
+TEST(Expander, RegularAndConnected) {
+  ExpanderGraph g(64, 8, 1);
+  EXPECT_TRUE(g.connected());
+  for (NodeId v = 0; v < 64; ++v) {
+    EXPECT_EQ(g.neighbors(v).size(), 8u);
+    // Simple graph: no self loops, no duplicate neighbors.
+    std::set<NodeId> uniq(g.neighbors(v).begin(), g.neighbors(v).end());
+    EXPECT_EQ(uniq.size(), 8u);
+    EXPECT_EQ(uniq.count(v), 0u);
+  }
+}
+
+TEST(Expander, PathLengthLogarithmic) {
+  // Random regular graphs have diameter ~ log_{d-1}(n): tiny even at
+  // hundreds of switches.
+  ExpanderGraph g(256, 16, 2);
+  EXPECT_LE(g.diameter(), 4);
+  EXPECT_GT(g.average_path_length(), 1.0);
+  EXPECT_LT(g.average_path_length(), 3.0);
+}
+
+TEST(Expander, ThroughputBoundDecaysWithScaleAtFixedDegree) {
+  ExpanderGraph small(64, 8, 3);
+  ExpanderGraph large(512, 8, 3);
+  EXPECT_GT(small.uniform_throughput_bound(),
+            large.uniform_throughput_bound());
+}
+
+TEST(Expander, DeterministicPerSeed) {
+  ExpanderGraph a(64, 6, 9);
+  ExpanderGraph b(64, 6, 9);
+  for (NodeId v = 0; v < 64; ++v) {
+    EXPECT_EQ(a.neighbors(v), b.neighbors(v));
+  }
+}
+
+}  // namespace
+}  // namespace sirius::topo

@@ -1,0 +1,88 @@
+// Tests for workload trace persistence (CSV save/load round trips).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace sirius::workload {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, RoundTripPreservesFlows) {
+  GeneratorConfig g;
+  g.servers = 32;
+  g.server_rate = DataRate::gbps(50);
+  g.load = 0.4;
+  g.flow_count = 500;
+  g.seed = 3;
+  const Workload original = generate(g);
+
+  const std::string path = temp_path("trace_roundtrip.csv");
+  ASSERT_TRUE(save_trace_csv(original, path));
+  const auto loaded = load_trace_csv(path, 32, DataRate::gbps(50));
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->flows.size(), original.flows.size());
+  for (std::size_t i = 0; i < original.flows.size(); ++i) {
+    EXPECT_EQ(loaded->flows[i].src_server, original.flows[i].src_server);
+    EXPECT_EQ(loaded->flows[i].dst_server, original.flows[i].dst_server);
+    EXPECT_EQ(loaded->flows[i].size, original.flows[i].size);
+    EXPECT_EQ(loaded->flows[i].arrival, original.flows[i].arrival);
+  }
+  EXPECT_EQ(loaded->total_bytes(), original.total_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadSortsByArrival) {
+  const std::string path = temp_path("trace_unsorted.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("flow_id,src_server,dst_server,size_bytes,arrival_ps\n", f);
+  std::fputs("0,1,2,1000,5000\n", f);
+  std::fputs("1,3,4,2000,1000\n", f);
+  std::fclose(f);
+
+  const auto w = load_trace_csv(path, 8, DataRate::gbps(50));
+  ASSERT_TRUE(w.has_value());
+  ASSERT_EQ(w->flows.size(), 2u);
+  EXPECT_EQ(w->flows[0].arrival, Time::ps(1'000));
+  EXPECT_EQ(w->flows[0].id, 0);  // re-numbered by arrival order
+  EXPECT_EQ(w->flows[0].src_server, 3);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  const std::string path = temp_path("trace_bad.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("flow_id,src_server,dst_server,size_bytes,arrival_ps\n", f);
+  std::fputs("0,1,not_a_number,1000,0\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(load_trace_csv(path, 8, DataRate::gbps(50)).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsOutOfRangeEndpoints) {
+  const std::string path = temp_path("trace_range.csv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("flow_id,src_server,dst_server,size_bytes,arrival_ps\n", f);
+  std::fputs("0,1,99,1000,0\n", f);  // dst beyond 8 servers
+  std::fclose(f);
+  EXPECT_FALSE(load_trace_csv(path, 8, DataRate::gbps(50)).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails) {
+  EXPECT_FALSE(load_trace_csv(temp_path("does_not_exist.csv"), 8,
+                              DataRate::gbps(50))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace sirius::workload

@@ -1,0 +1,210 @@
+// sirius_cli — command-line driver for one-off experiments.
+//
+//   sirius_cli run   [--system sirius|sirius-ideal|esn|esn-osub]
+//                    [--racks N] [--servers-per-rack N] [--uplinks N]
+//                    [--load L] [--flows N] [--seed S] [--q N]
+//                    [--guardband-ns G] [--multiplier M]
+//                    [--trace file.csv] [--fail rack[,rack...]]
+//   sirius_cli gen   --out file.csv [--racks N] [--servers-per-rack N]
+//                    [--load L] [--flows N] [--seed S]
+//   sirius_cli info  [--racks N] [--servers-per-rack N] [--uplinks N]
+//
+// `run` prints one metrics row; `gen` writes a workload trace; `info`
+// prints the derived deployment parameters (schedule geometry, epoch,
+// laser/link budget).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "optical/link_budget.hpp"
+#include "sched/schedule.hpp"
+#include "sim/sirius_sim.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace sirius;
+using namespace sirius::core;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    std::string value = "1";
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    a.options[key] = value;
+  }
+  return a;
+}
+
+std::int64_t opt_int(const Args& a, const std::string& k, std::int64_t d) {
+  auto it = a.options.find(k);
+  return it == a.options.end() ? d : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double opt_double(const Args& a, const std::string& k, double d) {
+  auto it = a.options.find(k);
+  return it == a.options.end() ? d : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string opt_str(const Args& a, const std::string& k,
+                    const std::string& d) {
+  auto it = a.options.find(k);
+  return it == a.options.end() ? d : it->second;
+}
+
+ExperimentConfig experiment_from(const Args& a) {
+  ExperimentConfig cfg = ExperimentConfig::from_env();
+  cfg.racks = static_cast<std::int32_t>(opt_int(a, "racks", cfg.racks));
+  cfg.servers_per_rack = static_cast<std::int32_t>(
+      opt_int(a, "servers-per-rack", cfg.servers_per_rack));
+  cfg.base_uplinks =
+      static_cast<std::int32_t>(opt_int(a, "uplinks", cfg.base_uplinks));
+  cfg.flows = opt_int(a, "flows", cfg.flows);
+  cfg.seed = static_cast<std::uint64_t>(
+      opt_int(a, "seed", static_cast<std::int64_t>(cfg.seed)));
+  return cfg;
+}
+
+int cmd_run(const Args& a) {
+  const ExperimentConfig cfg = experiment_from(a);
+  const double load = opt_double(a, "load", 0.5);
+  const std::string system = opt_str(a, "system", "sirius");
+
+  workload::Workload w;
+  const std::string trace = opt_str(a, "trace", "");
+  if (!trace.empty()) {
+    auto loaded =
+        workload::load_trace_csv(trace, cfg.servers(), cfg.server_share());
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "error: cannot load trace %s\n", trace.c_str());
+      return 1;
+    }
+    w = std::move(*loaded);
+    w.offered_load = load;
+  } else {
+    w = make_workload(cfg, load);
+  }
+
+  print_metrics_header();
+  if (system == "esn") {
+    print_metrics_row(run_esn(cfg, 1, w));
+  } else if (system == "esn-osub") {
+    print_metrics_row(run_esn(cfg, 3, w));
+  } else if (system == "sirius" || system == "sirius-ideal") {
+    SiriusVariant v;
+    v.ideal = (system == "sirius-ideal");
+    v.queue_limit = static_cast<std::int32_t>(opt_int(a, "q", 4));
+    v.guardband = Time::from_ns(opt_double(a, "guardband-ns", 10.0));
+    v.uplink_multiplier = opt_double(a, "multiplier", 1.5);
+
+    const std::string fail = opt_str(a, "fail", "");
+    if (!fail.empty()) {
+      sim::SiriusSimConfig s = make_sirius_config(cfg, v);
+      for (std::size_t pos = 0; pos < fail.size();) {
+        const std::size_t comma = fail.find(',', pos);
+        s.failed_racks.push_back(static_cast<NodeId>(
+            std::strtol(fail.substr(pos, comma - pos).c_str(), nullptr, 10)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      sim::SiriusSim sim(s, w);
+      const auto r = sim.run();
+      RunMetrics m;
+      m.system = "Sirius(failed)";
+      m.load = load;
+      m.short_fct_p99_ms = r.fct.short_fct_p99_ms;
+      m.goodput = r.goodput_normalized;
+      m.queue_peak_kb = r.worst_node_queue_peak_kb;
+      m.reorder_peak_kb = r.worst_reorder_peak_kb;
+      m.incomplete = r.incomplete_flows;
+      print_metrics_row(m);
+      std::printf("(rejected %lld flows touching failed racks)\n",
+                  static_cast<long long>(r.rejected_flows));
+    } else {
+      print_metrics_row(run_sirius(cfg, v, w));
+    }
+  } else {
+    std::fprintf(stderr, "error: unknown --system %s\n", system.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_gen(const Args& a) {
+  const std::string out = opt_str(a, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: gen requires --out file.csv\n");
+    return 1;
+  }
+  const ExperimentConfig cfg = experiment_from(a);
+  const auto w = make_workload(cfg, opt_double(a, "load", 0.5));
+  if (!workload::save_trace_csv(w, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu flows (%s) to %s\n", w.flows.size(),
+              w.total_bytes().to_string().c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  const ExperimentConfig cfg = experiment_from(a);
+  SiriusVariant v;
+  v.uplink_multiplier = opt_double(a, "multiplier", 1.5);
+  const auto s = make_sirius_config(cfg, v);
+  const sched::CyclicSchedule sched(s.racks, s.uplinks());
+
+  std::printf("deployment\n");
+  std::printf("  racks x servers      : %d x %d (%d servers)\n", cfg.racks,
+              cfg.servers_per_rack, cfg.servers());
+  std::printf("  uplinks per rack     : %d base, %d with %.1fx headroom\n",
+              cfg.base_uplinks, s.uplinks(), v.uplink_multiplier);
+  std::printf("  per-server bandwidth : %s\n",
+              cfg.server_share().to_string().c_str());
+  std::printf("schedule\n");
+  std::printf("  slot                 : %s (%lld B cell + %s guard)\n",
+              s.slots.slot_duration().to_string().c_str(),
+              static_cast<long long>(s.slots.cell_size().in_bytes()),
+              s.slots.guardband().to_string().c_str());
+  std::printf("  slots per round      : %d (epoch %s)\n",
+              sched.slots_per_round(),
+              (s.slots.slot_duration() * sched.slots_per_round())
+                  .to_string()
+                  .c_str());
+  optical::LinkBudget lb;
+  std::printf("optics\n");
+  std::printf("  required launch power: %.1f dBm\n",
+              lb.required_launch_power().in_dbm());
+  std::printf("  laser chips per rack : %d (16.1 dBm lasers, x%d sharing)\n",
+              lb.lasers_needed(s.uplinks(), optical::OpticalPower::dbm(16.1)),
+              lb.max_sharing_degree(optical::OpticalPower::dbm(16.1)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.command == "run") return cmd_run(a);
+  if (a.command == "gen") return cmd_gen(a);
+  if (a.command == "info") return cmd_info(a);
+  std::fprintf(stderr,
+               "usage: sirius_cli {run|gen|info} [--options]\n"
+               "see the header of tools/sirius_cli.cpp for details\n");
+  return a.command.empty() ? 1 : 2;
+}
