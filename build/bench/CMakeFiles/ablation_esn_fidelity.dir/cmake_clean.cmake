@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_esn_fidelity.dir/ablation_esn_fidelity.cpp.o"
+  "CMakeFiles/ablation_esn_fidelity.dir/ablation_esn_fidelity.cpp.o.d"
+  "ablation_esn_fidelity"
+  "ablation_esn_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_esn_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

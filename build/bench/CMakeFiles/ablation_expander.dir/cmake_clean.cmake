@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_expander.dir/ablation_expander.cpp.o"
+  "CMakeFiles/ablation_expander.dir/ablation_expander.cpp.o.d"
+  "ablation_expander"
+  "ablation_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failure_detection.dir/ablation_failure_detection.cpp.o"
+  "CMakeFiles/ablation_failure_detection.dir/ablation_failure_detection.cpp.o.d"
+  "ablation_failure_detection"
+  "ablation_failure_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spread_policy.dir/ablation_spread_policy.cpp.o"
+  "CMakeFiles/ablation_spread_policy.dir/ablation_spread_policy.cpp.o.d"
+  "ablation_spread_policy"
+  "ablation_spread_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spread_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_validation.dir/fec_validation.cpp.o"
+  "CMakeFiles/fec_validation.dir/fec_validation.cpp.o.d"
+  "fec_validation"
+  "fec_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02a_scale_tax.dir/fig02a_scale_tax.cpp.o"
+  "CMakeFiles/fig02a_scale_tax.dir/fig02a_scale_tax.cpp.o.d"
+  "fig02a_scale_tax"
+  "fig02a_scale_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_scale_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

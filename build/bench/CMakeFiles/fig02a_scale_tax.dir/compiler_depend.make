@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02a_scale_tax.
+# This may be replaced when dependencies are built.

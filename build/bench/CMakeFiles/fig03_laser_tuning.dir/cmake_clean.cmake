@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_laser_tuning.dir/fig03_laser_tuning.cpp.o"
+  "CMakeFiles/fig03_laser_tuning.dir/fig03_laser_tuning.cpp.o.d"
+  "fig03_laser_tuning"
+  "fig03_laser_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_laser_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_power_ratio.dir/fig06a_power_ratio.cpp.o"
+  "CMakeFiles/fig06a_power_ratio.dir/fig06a_power_ratio.cpp.o.d"
+  "fig06a_power_ratio"
+  "fig06a_power_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_power_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

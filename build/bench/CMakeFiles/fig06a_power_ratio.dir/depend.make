@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06a_power_ratio.
+# This may be replaced when dependencies are built.

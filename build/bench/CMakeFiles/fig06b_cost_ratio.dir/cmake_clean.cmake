@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_cost_ratio.dir/fig06b_cost_ratio.cpp.o"
+  "CMakeFiles/fig06b_cost_ratio.dir/fig06b_cost_ratio.cpp.o.d"
+  "fig06b_cost_ratio"
+  "fig06b_cost_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_cost_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

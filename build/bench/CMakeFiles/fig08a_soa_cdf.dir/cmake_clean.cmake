@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_soa_cdf.dir/fig08a_soa_cdf.cpp.o"
+  "CMakeFiles/fig08a_soa_cdf.dir/fig08a_soa_cdf.cpp.o.d"
+  "fig08a_soa_cdf"
+  "fig08a_soa_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_soa_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

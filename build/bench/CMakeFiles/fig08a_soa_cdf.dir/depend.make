@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08a_soa_cdf.
+# This may be replaced when dependencies are built.

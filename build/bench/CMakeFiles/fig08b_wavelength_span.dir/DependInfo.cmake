@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08b_wavelength_span.cpp" "bench/CMakeFiles/fig08b_wavelength_span.dir/fig08b_wavelength_span.cpp.o" "gcc" "bench/CMakeFiles/fig08b_wavelength_span.dir/fig08b_wavelength_span.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sirius_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_esn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_powercost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_frame.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

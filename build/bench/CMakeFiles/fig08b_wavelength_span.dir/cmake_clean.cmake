@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_wavelength_span.dir/fig08b_wavelength_span.cpp.o"
+  "CMakeFiles/fig08b_wavelength_span.dir/fig08b_wavelength_span.cpp.o.d"
+  "fig08b_wavelength_span"
+  "fig08b_wavelength_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_wavelength_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08c_guardband_budget.dir/fig08c_guardband_budget.cpp.o"
+  "CMakeFiles/fig08c_guardband_budget.dir/fig08c_guardband_budget.cpp.o.d"
+  "fig08c_guardband_budget"
+  "fig08c_guardband_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08c_guardband_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

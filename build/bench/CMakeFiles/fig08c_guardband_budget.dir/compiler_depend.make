@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08c_guardband_budget.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08c_guardband_budget.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08d_ber_waterfall.dir/fig08d_ber_waterfall.cpp.o"
+  "CMakeFiles/fig08d_ber_waterfall.dir/fig08d_ber_waterfall.cpp.o.d"
+  "fig08d_ber_waterfall"
+  "fig08d_ber_waterfall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08d_ber_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08d_ber_waterfall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_accuracy.dir/sync_accuracy.cpp.o"
+  "CMakeFiles/sync_accuracy.dir/sync_accuracy.cpp.o.d"
+  "sync_accuracy"
+  "sync_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_allreduce.dir/dnn_allreduce.cpp.o"
+  "CMakeFiles/dnn_allreduce.dir/dnn_allreduce.cpp.o.d"
+  "dnn_allreduce"
+  "dnn_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_cc.dir/cc/request_grant.cpp.o"
+  "CMakeFiles/sirius_cc.dir/cc/request_grant.cpp.o.d"
+  "libsirius_cc.a"
+  "libsirius_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/sirius_common.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/sirius_common.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/distributions.cpp" "src/CMakeFiles/sirius_common.dir/common/distributions.cpp.o" "gcc" "src/CMakeFiles/sirius_common.dir/common/distributions.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/sirius_common.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/sirius_common.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/sirius_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/sirius_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/CMakeFiles/sirius_common.dir/common/time.cpp.o" "gcc" "src/CMakeFiles/sirius_common.dir/common/time.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/sirius_common.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/sirius_common.dir/common/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_common.dir/common/config.cpp.o"
+  "CMakeFiles/sirius_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/sirius_common.dir/common/distributions.cpp.o"
+  "CMakeFiles/sirius_common.dir/common/distributions.cpp.o.d"
+  "CMakeFiles/sirius_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/sirius_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/sirius_common.dir/common/rng.cpp.o"
+  "CMakeFiles/sirius_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/sirius_common.dir/common/time.cpp.o"
+  "CMakeFiles/sirius_common.dir/common/time.cpp.o.d"
+  "CMakeFiles/sirius_common.dir/common/units.cpp.o"
+  "CMakeFiles/sirius_common.dir/common/units.cpp.o.d"
+  "libsirius_common.a"
+  "libsirius_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

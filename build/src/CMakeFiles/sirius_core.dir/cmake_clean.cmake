@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/sirius_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/sirius_core.dir/core/network_api.cpp.o"
+  "CMakeFiles/sirius_core.dir/core/network_api.cpp.o.d"
+  "libsirius_core.a"
+  "libsirius_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

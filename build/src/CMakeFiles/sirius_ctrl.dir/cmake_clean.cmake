@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_ctrl.dir/ctrl/failure_detector.cpp.o"
+  "CMakeFiles/sirius_ctrl.dir/ctrl/failure_detector.cpp.o.d"
+  "libsirius_ctrl.a"
+  "libsirius_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

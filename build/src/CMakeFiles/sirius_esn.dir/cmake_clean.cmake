@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_esn.dir/esn/fluid_sim.cpp.o"
+  "CMakeFiles/sirius_esn.dir/esn/fluid_sim.cpp.o.d"
+  "CMakeFiles/sirius_esn.dir/esn/packet_clos_sim.cpp.o"
+  "CMakeFiles/sirius_esn.dir/esn/packet_clos_sim.cpp.o.d"
+  "libsirius_esn.a"
+  "libsirius_esn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_esn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

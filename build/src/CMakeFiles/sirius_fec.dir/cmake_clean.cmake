@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_fec.dir/fec/gf256.cpp.o"
+  "CMakeFiles/sirius_fec.dir/fec/gf256.cpp.o.d"
+  "CMakeFiles/sirius_fec.dir/fec/reed_solomon.cpp.o"
+  "CMakeFiles/sirius_fec.dir/fec/reed_solomon.cpp.o.d"
+  "libsirius_fec.a"
+  "libsirius_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

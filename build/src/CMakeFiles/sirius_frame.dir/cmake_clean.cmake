@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_frame.dir/frame/cell_frame.cpp.o"
+  "CMakeFiles/sirius_frame.dir/frame/cell_frame.cpp.o.d"
+  "libsirius_frame.a"
+  "libsirius_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

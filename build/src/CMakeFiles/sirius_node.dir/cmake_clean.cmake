@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_node.dir/node/node.cpp.o"
+  "CMakeFiles/sirius_node.dir/node/node.cpp.o.d"
+  "CMakeFiles/sirius_node.dir/node/reorder_buffer.cpp.o"
+  "CMakeFiles/sirius_node.dir/node/reorder_buffer.cpp.o.d"
+  "libsirius_node.a"
+  "libsirius_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

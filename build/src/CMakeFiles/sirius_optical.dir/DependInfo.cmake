@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/awgr.cpp" "src/CMakeFiles/sirius_optical.dir/optical/awgr.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/awgr.cpp.o.d"
+  "/root/repo/src/optical/ber_model.cpp" "src/CMakeFiles/sirius_optical.dir/optical/ber_model.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/ber_model.cpp.o.d"
+  "/root/repo/src/optical/crosstalk.cpp" "src/CMakeFiles/sirius_optical.dir/optical/crosstalk.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/crosstalk.cpp.o.d"
+  "/root/repo/src/optical/disaggregated_laser.cpp" "src/CMakeFiles/sirius_optical.dir/optical/disaggregated_laser.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/disaggregated_laser.cpp.o.d"
+  "/root/repo/src/optical/dsdbr_laser.cpp" "src/CMakeFiles/sirius_optical.dir/optical/dsdbr_laser.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/dsdbr_laser.cpp.o.d"
+  "/root/repo/src/optical/link_budget.cpp" "src/CMakeFiles/sirius_optical.dir/optical/link_budget.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/link_budget.cpp.o.d"
+  "/root/repo/src/optical/power.cpp" "src/CMakeFiles/sirius_optical.dir/optical/power.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/power.cpp.o.d"
+  "/root/repo/src/optical/soa_gate.cpp" "src/CMakeFiles/sirius_optical.dir/optical/soa_gate.cpp.o" "gcc" "src/CMakeFiles/sirius_optical.dir/optical/soa_gate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_optical.dir/optical/awgr.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/awgr.cpp.o.d"
+  "CMakeFiles/sirius_optical.dir/optical/ber_model.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/ber_model.cpp.o.d"
+  "CMakeFiles/sirius_optical.dir/optical/crosstalk.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/crosstalk.cpp.o.d"
+  "CMakeFiles/sirius_optical.dir/optical/disaggregated_laser.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/disaggregated_laser.cpp.o.d"
+  "CMakeFiles/sirius_optical.dir/optical/dsdbr_laser.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/dsdbr_laser.cpp.o.d"
+  "CMakeFiles/sirius_optical.dir/optical/link_budget.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/link_budget.cpp.o.d"
+  "CMakeFiles/sirius_optical.dir/optical/power.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/power.cpp.o.d"
+  "CMakeFiles/sirius_optical.dir/optical/soa_gate.cpp.o"
+  "CMakeFiles/sirius_optical.dir/optical/soa_gate.cpp.o.d"
+  "libsirius_optical.a"
+  "libsirius_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/amplitude_cache.cpp" "src/CMakeFiles/sirius_phy.dir/phy/amplitude_cache.cpp.o" "gcc" "src/CMakeFiles/sirius_phy.dir/phy/amplitude_cache.cpp.o.d"
+  "/root/repo/src/phy/cdr.cpp" "src/CMakeFiles/sirius_phy.dir/phy/cdr.cpp.o" "gcc" "src/CMakeFiles/sirius_phy.dir/phy/cdr.cpp.o.d"
+  "/root/repo/src/phy/slot_geometry.cpp" "src/CMakeFiles/sirius_phy.dir/phy/slot_geometry.cpp.o" "gcc" "src/CMakeFiles/sirius_phy.dir/phy/slot_geometry.cpp.o.d"
+  "/root/repo/src/phy/transceiver.cpp" "src/CMakeFiles/sirius_phy.dir/phy/transceiver.cpp.o" "gcc" "src/CMakeFiles/sirius_phy.dir/phy/transceiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sirius_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_phy.dir/phy/amplitude_cache.cpp.o"
+  "CMakeFiles/sirius_phy.dir/phy/amplitude_cache.cpp.o.d"
+  "CMakeFiles/sirius_phy.dir/phy/cdr.cpp.o"
+  "CMakeFiles/sirius_phy.dir/phy/cdr.cpp.o.d"
+  "CMakeFiles/sirius_phy.dir/phy/slot_geometry.cpp.o"
+  "CMakeFiles/sirius_phy.dir/phy/slot_geometry.cpp.o.d"
+  "CMakeFiles/sirius_phy.dir/phy/transceiver.cpp.o"
+  "CMakeFiles/sirius_phy.dir/phy/transceiver.cpp.o.d"
+  "libsirius_phy.a"
+  "libsirius_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_powercost.dir/powercost/cost_model.cpp.o"
+  "CMakeFiles/sirius_powercost.dir/powercost/cost_model.cpp.o.d"
+  "CMakeFiles/sirius_powercost.dir/powercost/power_model.cpp.o"
+  "CMakeFiles/sirius_powercost.dir/powercost/power_model.cpp.o.d"
+  "libsirius_powercost.a"
+  "libsirius_powercost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_powercost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

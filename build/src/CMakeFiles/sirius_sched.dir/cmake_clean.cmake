@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_sched.dir/sched/demand_scheduler.cpp.o"
+  "CMakeFiles/sirius_sched.dir/sched/demand_scheduler.cpp.o.d"
+  "CMakeFiles/sirius_sched.dir/sched/schedule.cpp.o"
+  "CMakeFiles/sirius_sched.dir/sched/schedule.cpp.o.d"
+  "libsirius_sched.a"
+  "libsirius_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

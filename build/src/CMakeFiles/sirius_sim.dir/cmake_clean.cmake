@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/sirius_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/sirius_sim.dir/sim/sirius_sim.cpp.o"
+  "CMakeFiles/sirius_sim.dir/sim/sirius_sim.cpp.o.d"
+  "libsirius_sim.a"
+  "libsirius_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_stats.dir/stats/fct_tracker.cpp.o"
+  "CMakeFiles/sirius_stats.dir/stats/fct_tracker.cpp.o.d"
+  "CMakeFiles/sirius_stats.dir/stats/goodput.cpp.o"
+  "CMakeFiles/sirius_stats.dir/stats/goodput.cpp.o.d"
+  "CMakeFiles/sirius_stats.dir/stats/occupancy.cpp.o"
+  "CMakeFiles/sirius_stats.dir/stats/occupancy.cpp.o.d"
+  "libsirius_stats.a"
+  "libsirius_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/clock_model.cpp" "src/CMakeFiles/sirius_sync.dir/sync/clock_model.cpp.o" "gcc" "src/CMakeFiles/sirius_sync.dir/sync/clock_model.cpp.o.d"
+  "/root/repo/src/sync/delay_calibration.cpp" "src/CMakeFiles/sirius_sync.dir/sync/delay_calibration.cpp.o" "gcc" "src/CMakeFiles/sirius_sync.dir/sync/delay_calibration.cpp.o.d"
+  "/root/repo/src/sync/sync_protocol.cpp" "src/CMakeFiles/sirius_sync.dir/sync/sync_protocol.cpp.o" "gcc" "src/CMakeFiles/sirius_sync.dir/sync/sync_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

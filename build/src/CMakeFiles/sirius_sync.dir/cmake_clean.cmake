@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_sync.dir/sync/clock_model.cpp.o"
+  "CMakeFiles/sirius_sync.dir/sync/clock_model.cpp.o.d"
+  "CMakeFiles/sirius_sync.dir/sync/delay_calibration.cpp.o"
+  "CMakeFiles/sirius_sync.dir/sync/delay_calibration.cpp.o.d"
+  "CMakeFiles/sirius_sync.dir/sync/sync_protocol.cpp.o"
+  "CMakeFiles/sirius_sync.dir/sync/sync_protocol.cpp.o.d"
+  "libsirius_sync.a"
+  "libsirius_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/clos_topology.cpp" "src/CMakeFiles/sirius_topo.dir/topo/clos_topology.cpp.o" "gcc" "src/CMakeFiles/sirius_topo.dir/topo/clos_topology.cpp.o.d"
+  "/root/repo/src/topo/expander.cpp" "src/CMakeFiles/sirius_topo.dir/topo/expander.cpp.o" "gcc" "src/CMakeFiles/sirius_topo.dir/topo/expander.cpp.o.d"
+  "/root/repo/src/topo/sirius_topology.cpp" "src/CMakeFiles/sirius_topo.dir/topo/sirius_topology.cpp.o" "gcc" "src/CMakeFiles/sirius_topo.dir/topo/sirius_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_topo.dir/topo/clos_topology.cpp.o"
+  "CMakeFiles/sirius_topo.dir/topo/clos_topology.cpp.o.d"
+  "CMakeFiles/sirius_topo.dir/topo/expander.cpp.o"
+  "CMakeFiles/sirius_topo.dir/topo/expander.cpp.o.d"
+  "CMakeFiles/sirius_topo.dir/topo/sirius_topology.cpp.o"
+  "CMakeFiles/sirius_topo.dir/topo/sirius_topology.cpp.o.d"
+  "libsirius_topo.a"
+  "libsirius_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

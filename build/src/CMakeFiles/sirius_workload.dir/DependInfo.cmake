@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/flow.cpp" "src/CMakeFiles/sirius_workload.dir/workload/flow.cpp.o" "gcc" "src/CMakeFiles/sirius_workload.dir/workload/flow.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/sirius_workload.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/sirius_workload.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/packet_mix.cpp" "src/CMakeFiles/sirius_workload.dir/workload/packet_mix.cpp.o" "gcc" "src/CMakeFiles/sirius_workload.dir/workload/packet_mix.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/sirius_workload.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/sirius_workload.dir/workload/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sirius_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_workload.dir/workload/flow.cpp.o"
+  "CMakeFiles/sirius_workload.dir/workload/flow.cpp.o.d"
+  "CMakeFiles/sirius_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/sirius_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/sirius_workload.dir/workload/packet_mix.cpp.o"
+  "CMakeFiles/sirius_workload.dir/workload/packet_mix.cpp.o.d"
+  "CMakeFiles/sirius_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/sirius_workload.dir/workload/trace_io.cpp.o.d"
+  "libsirius_workload.a"
+  "libsirius_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esn_test.dir/esn_test.cpp.o"
+  "CMakeFiles/esn_test.dir/esn_test.cpp.o.d"
+  "esn_test"
+  "esn_test.pdb"
+  "esn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

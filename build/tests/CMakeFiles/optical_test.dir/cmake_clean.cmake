@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_test.dir/optical_test.cpp.o"
+  "CMakeFiles/optical_test.dir/optical_test.cpp.o.d"
+  "optical_test"
+  "optical_test.pdb"
+  "optical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powercost_test.dir/powercost_test.cpp.o"
+  "CMakeFiles/powercost_test.dir/powercost_test.cpp.o.d"
+  "powercost_test"
+  "powercost_test.pdb"
+  "powercost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powercost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

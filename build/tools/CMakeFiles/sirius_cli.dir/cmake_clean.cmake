@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius_cli.dir/sirius_cli.cpp.o"
+  "CMakeFiles/sirius_cli.dir/sirius_cli.cpp.o.d"
+  "sirius_cli"
+  "sirius_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
