@@ -1,0 +1,50 @@
+# Correctness-tooling knobs: sanitizers, warnings-as-errors, clang-tidy and
+# the invariant auditing mode. Included from the top-level CMakeLists; the
+# presets in CMakePresets.json are thin wrappers over these options.
+
+# SIRIUS_SANITIZE is a semicolon list of sanitizers, e.g. "address;undefined"
+# or "thread". Applied to every target (compile + link).
+set(SIRIUS_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers to enable (address;undefined | thread)")
+
+option(SIRIUS_WERROR "Treat compiler warnings as errors" OFF)
+option(SIRIUS_LINT "Run clang-tidy over src/ (needs clang-tidy in PATH)" OFF)
+option(SIRIUS_AUDIT
+       "Compile SIRIUS_INVARIANT as runtime-checked audits (plain assert() \
+when OFF)" ON)
+
+if(SIRIUS_AUDIT)
+  add_compile_definitions(SIRIUS_AUDIT)
+endif()
+
+if(SIRIUS_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+if(SIRIUS_SANITIZE)
+  foreach(san IN LISTS SIRIUS_SANITIZE)
+    add_compile_options(-fsanitize=${san})
+    add_link_options(-fsanitize=${san})
+  endforeach()
+  # Keep stacks readable and make UB fatal instead of printing-and-carrying-
+  # on, so ctest fails on the first report.
+  add_compile_options(-fno-omit-frame-pointer)
+  if("undefined" IN_LIST SIRIUS_SANITIZE)
+    add_compile_options(-fno-sanitize-recover=undefined)
+  endif()
+endif()
+
+if(SIRIUS_LINT)
+  find_program(SIRIUS_CLANG_TIDY_EXE NAMES clang-tidy)
+  if(SIRIUS_CLANG_TIDY_EXE)
+    # The caller scopes this to src/ by setting CMAKE_CXX_CLANG_TIDY around
+    # add_subdirectory(src); tests/bench/examples stay un-tidied.
+    set(SIRIUS_CLANG_TIDY_COMMAND "${SIRIUS_CLANG_TIDY_EXE}"
+        "--warnings-as-errors=*")
+  else()
+    message(WARNING
+      "SIRIUS_LINT=ON but clang-tidy was not found in PATH; the lint gate "
+      "is skipped for this build.")
+    set(SIRIUS_CLANG_TIDY_COMMAND "")
+  endif()
+endif()

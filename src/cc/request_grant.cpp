@@ -2,12 +2,16 @@
 
 #include <cassert>
 
+#include "check/invariant.hpp"
+
 namespace sirius::cc {
 
 RequestGrantNode::RequestGrantNode(NodeId self, const RequestGrantConfig& cfg)
     : self_(self), cfg_(cfg) {
-  assert(cfg_.nodes >= 2);
-  assert(cfg_.queue_limit >= 2 && "Q < 2 can deadlock the relay (see §4.3)");
+  SIRIUS_INVARIANT(cfg_.nodes >= 2, "request/grant over %d nodes", cfg_.nodes);
+  SIRIUS_INVARIANT(cfg_.queue_limit >= 2,
+                   "Q=%d < 2 can deadlock the relay (see §4.3)",
+                   cfg_.queue_limit);
   outstanding_.assign(static_cast<std::size_t>(cfg_.nodes), 0);
   picked_this_epoch_.assign(static_cast<std::size_t>(cfg_.nodes), 0);
   intermediate_pool_.reserve(static_cast<std::size_t>(cfg_.nodes));

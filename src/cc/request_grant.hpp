@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -82,7 +83,16 @@ class RequestGrantNode {
   // ---- intermediate role -------------------------------------------------
 
   /// Buffers a request received during the current epoch.
-  void receive_request(const Request& r) { inbox_.push_back(r); }
+  void receive_request(const Request& r) {
+    SIRIUS_INVARIANT(r.dst >= 0 && r.dst < cfg_.nodes && r.src >= 0 &&
+                         r.src < cfg_.nodes,
+                     "request %d -> %d outside the %d-node network", r.src,
+                     r.dst, cfg_.nodes);
+    if (r.dst < 0 || r.dst >= cfg_.nodes || r.src < 0 || r.src >= cfg_.nodes) {
+      return;
+    }
+    inbox_.push_back(r);
+  }
 
   /// Epoch boundary: selects one buffered request per destination at
   /// random and issues grants subject to the queue bound.
@@ -97,6 +107,10 @@ class RequestGrantNode {
       auto& out = outstanding_[static_cast<std::size_t>(r.dst)];
       if (queued_for(r.dst) + out < cfg_.queue_limit) {
         ++out;
+        SIRIUS_INVARIANT(out <= cfg_.queue_limit,
+                         "node %d: %d outstanding grants for dst %d exceed "
+                         "Q=%d",
+                         self_, out, r.dst, cfg_.queue_limit);
         grants.push_back(Grant{self_, r.src, r.dst});
         ++stat_grants_;
       } else {
@@ -111,14 +125,24 @@ class RequestGrantNode {
     return grants;
   }
 
-  /// A granted cell arrived and was enqueued for `dst`.
+  /// A granted cell arrived and was enqueued for `dst`. Every grant is
+  /// settled exactly once (cell arrival or release), so the outstanding
+  /// counter must be positive here — an underflow means double accounting.
   void on_granted_cell_arrival(NodeId dst) {
     auto& out = outstanding_[static_cast<std::size_t>(dst)];
+    SIRIUS_INVARIANT(out > 0,
+                     "node %d: grant accounting underflow for dst %d", self_,
+                     dst);
     if (out > 0) --out;
   }
 
-  /// The source released an unusable grant for `dst`.
-  void on_grant_release(NodeId dst) { on_granted_cell_arrival(dst); }
+  /// The source released an unusable grant for `dst`. Unlike cell arrival,
+  /// duplicate releases are part of the contract (a source may redundantly
+  /// release), so this clamps at zero instead of auditing.
+  void on_grant_release(NodeId dst) {
+    auto& out = outstanding_[static_cast<std::size_t>(dst)];
+    if (out > 0) --out;
+  }
 
   /// Marks `node` as failed: it is never chosen as an intermediate again
   /// (§4.5: detected failures are communicated datacenter-wide to prevent

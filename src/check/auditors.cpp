@@ -1,0 +1,168 @@
+#include "check/auditors.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "check/invariant.hpp"
+#include "node/node.hpp"
+#include "node/reorder_buffer.hpp"
+#include "sched/schedule.hpp"
+
+namespace sirius::check {
+
+void AuditorRegistry::register_auditor(std::string name,
+                                       std::function<void()> fn) {
+  auditors_.push_back(Entry{std::move(name), std::move(fn)});
+}
+
+void AuditorRegistry::run_all() const {
+  for (const Entry& e : auditors_) e.fn();
+}
+
+std::vector<std::string> AuditorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(auditors_.size());
+  for (const Entry& e : auditors_) out.push_back(e.name);
+  return out;
+}
+
+void audit_destination_permutation(const std::vector<NodeId>& dsts,
+                                   const char* what) {
+  // Destinations are small non-negative ids; a seen-bitmap keeps this O(n).
+  NodeId max_id = -1;
+  for (const NodeId d : dsts) max_id = d > max_id ? d : max_id;
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(max_id + 1), 0);
+  for (const NodeId d : dsts) {
+    if (d == kInvalidNode) continue;  // idle uplink (schedule padding)
+    SIRIUS_INVARIANT(d >= 0, "%s: negative destination %d", what, d);
+    if (d < 0) continue;
+    auto& s = seen[static_cast<std::size_t>(d)];
+    SIRIUS_INVARIANT(s == 0,
+                     "%s: destination %d receives from two senders in one "
+                     "slot (schedule is not a permutation)",
+                     what, d);
+    s = 1;
+  }
+}
+
+void audit_slot_permutation(const sched::CyclicSchedule& sched,
+                            std::int64_t slot) {
+  // Contention-freeness is per uplink: for a fixed (u, slot) the src -> dst
+  // map is a bijection. Across uplinks a node legitimately receives up to
+  // U cells per slot (one per downlink), so each uplink is audited alone.
+  std::vector<NodeId> dsts;
+  dsts.reserve(static_cast<std::size_t>(sched.nodes()));
+  for (UplinkId u = 0; u < sched.uplinks(); ++u) {
+    dsts.clear();
+    for (NodeId raw = 0, seen = 0; seen < sched.nodes(); ++raw) {
+      if (!sched.is_member(raw)) continue;
+      ++seen;
+      const NodeId dst = sched.peer_tx(raw, u, slot);
+      if (dst == kInvalidNode) continue;
+      SIRIUS_INVARIANT(dst != raw, "schedule: node %d sends to itself at slot %lld",
+                       raw, static_cast<long long>(slot));
+      SIRIUS_INVARIANT(sched.is_member(dst),
+                       "schedule: node %d sends to non-member %d at slot %lld",
+                       raw, dst, static_cast<long long>(slot));
+      dsts.push_back(dst);
+    }
+    audit_destination_permutation(dsts, "schedule");
+  }
+
+  // rx consistency: every receiver that hears someone hears exactly the
+  // sender the tx map named (spot-checks the peer_rx inverse).
+  for (NodeId raw = 0, seen = 0; seen < sched.nodes(); ++raw) {
+    if (!sched.is_member(raw)) continue;
+    ++seen;
+    for (UplinkId u = 0; u < sched.uplinks(); ++u) {
+      const NodeId src = sched.peer_rx(raw, u, slot);
+      if (src == kInvalidNode) continue;
+      SIRIUS_INVARIANT(
+          sched.peer_tx(src, u, slot) == raw,
+          "schedule: peer_rx(%d, %d) = %d but peer_tx disagrees at slot %lld",
+          raw, u, src, static_cast<long long>(slot));
+    }
+  }
+}
+
+void audit_queue_bound(const node::Node& n, std::int32_t queue_limit,
+                       std::int32_t bound) {
+  const auto& cc = n.cc();
+  for (NodeId d = 0; d < static_cast<NodeId>(n.queue_span()); ++d) {
+    const std::int32_t fq = n.fq_depth(d);
+    const std::int32_t out = cc.outstanding(d);
+    SIRIUS_INVARIANT(fq >= 0 && out >= 0,
+                     "node %d: negative queue accounting for dst %d "
+                     "(fq %d, outstanding %d)",
+                     n.self(), d, fq, out);
+    SIRIUS_INVARIANT(out <= queue_limit,
+                     "node %d: %d outstanding grants for dst %d exceed Q=%d",
+                     n.self(), out, d, queue_limit);
+    SIRIUS_INVARIANT(fq + out <= bound,
+                     "node %d: relay queue for dst %d holds %d cells with %d "
+                     "outstanding grants, above the audited bound %d (Q=%d)",
+                     n.self(), d, fq, out, bound, queue_limit);
+  }
+}
+
+void audit_cell_conservation(std::int64_t injected, std::int64_t delivered,
+                             std::int64_t queued, std::int64_t in_flight,
+                             std::int64_t dropped) {
+  SIRIUS_INVARIANT(injected >= 0 && delivered >= 0 && queued >= 0 &&
+                       in_flight >= 0 && dropped >= 0,
+                   "negative cell ledger: injected %lld delivered %lld "
+                   "queued %lld in-flight %lld dropped %lld",
+                   static_cast<long long>(injected),
+                   static_cast<long long>(delivered),
+                   static_cast<long long>(queued),
+                   static_cast<long long>(in_flight),
+                   static_cast<long long>(dropped));
+  SIRIUS_INVARIANT(
+      injected == delivered + queued + in_flight + dropped,
+      "cell conservation broken: injected %lld != delivered %lld + "
+      "queued %lld + in-flight %lld + dropped %lld",
+      static_cast<long long>(injected), static_cast<long long>(delivered),
+      static_cast<long long>(queued), static_cast<long long>(in_flight),
+      static_cast<long long>(dropped));
+}
+
+void audit_reorder(const node::ReorderBuffer& rb) {
+  SIRIUS_INVARIANT(rb.next_expected() >= 0 &&
+                       rb.next_expected() <= rb.total_cells(),
+                   "reorder: in-order prefix %lld outside [0, %lld]",
+                   static_cast<long long>(rb.next_expected()),
+                   static_cast<long long>(rb.total_cells()));
+  SIRIUS_INVARIANT(
+      rb.buffered_cells() <= rb.total_cells() - rb.next_expected(),
+      "reorder: %lld cells buffered beyond the %lld still outstanding",
+      static_cast<long long>(rb.buffered_cells()),
+      static_cast<long long>(rb.total_cells() - rb.next_expected()));
+}
+
+void audit_in_order_release(const std::vector<std::int32_t>& released) {
+  for (std::size_t i = 1; i < released.size(); ++i) {
+    SIRIUS_INVARIANT(released[i] > released[i - 1],
+                     "reorder: released seq %d after seq %d (out of order)",
+                     released[i], released[i - 1]);
+  }
+}
+
+void audit_clock_offsets(const std::vector<double>& offsets_ps,
+                         double bound_ps) {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const double o : offsets_ps) {
+    SIRIUS_INVARIANT(std::isfinite(o), "clock offset %g ps is not finite", o);
+    if (!std::isfinite(o)) continue;
+    lo = first ? o : (o < lo ? o : lo);
+    hi = first ? o : (o > hi ? o : hi);
+    first = false;
+  }
+  SIRIUS_INVARIANT(hi - lo <= bound_ps,
+                   "clocks diverged after convergence: spread %g ps exceeds "
+                   "the %g ps bound",
+                   hi - lo, bound_ps);
+}
+
+}  // namespace sirius::check

@@ -1,0 +1,93 @@
+// Domain auditors: whole-structure checks over the live simulator state,
+// built on SIRIUS_INVARIANT (see invariant.hpp). Modules register the
+// auditors that concern them in an AuditorRegistry; the simulator runs the
+// registry at round boundaries (SiriusSimConfig::audit_period_rounds) and at
+// the end of every run, so a violated property is caught within one audit
+// period instead of surfacing later as a corrupted statistic.
+//
+// Each auditor states one paper property:
+//   * audit_slot_permutation — the §4.2 schedule connects each receiver to
+//     at most one sender per slot (contention-freeness);
+//   * audit_queue_bound — the §4.3 request/grant protocol keeps every
+//     per-destination relay queue within its bound;
+//   * audit_cell_conservation — every cell taken from a source LOCAL buffer
+//     is delivered, queued, or on the wire (nothing duplicated or lost);
+//   * audit_reorder / audit_in_order_release — the receiver releases the
+//     in-order prefix and nothing else (§4.2 "Cell reordering");
+//   * audit_clock_offsets — after §4.4 sync convergence, mutual clock
+//     offsets stay inside the configured bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sirius::node {
+class Node;
+class ReorderBuffer;
+}  // namespace sirius::node
+namespace sirius::sched {
+class CyclicSchedule;
+}  // namespace sirius::sched
+
+namespace sirius::check {
+
+/// A named set of audit callbacks. Plain value type: each SiriusSim owns its
+/// own registry, so concurrent sims (param sweeps) never share audit state.
+class AuditorRegistry {
+ public:
+  void register_auditor(std::string name, std::function<void()> fn);
+  /// Runs every registered auditor; violations are routed through the
+  /// InvariantContext like any other SIRIUS_INVARIANT.
+  void run_all() const;
+  std::size_t size() const { return auditors_.size(); }
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::function<void()> fn;
+  };
+  std::vector<Entry> auditors_;
+};
+
+/// Core permutation check: no destination may appear twice (kInvalidNode
+/// entries are idle uplinks and exempt). `what` labels the report.
+void audit_destination_permutation(const std::vector<NodeId>& dsts,
+                                   const char* what);
+
+/// Audits slot `slot` of the schedule: the tx map over (member, uplink) is
+/// a partial permutation, destinations are members distinct from their
+/// source, and peer_rx inverts peer_tx.
+void audit_slot_permutation(const sched::CyclicSchedule& sched,
+                            std::int64_t slot);
+
+/// Audits one node's per-destination relay (forward) queues against
+/// `bound` cells, and its grant accounting against `queue_limit` (the
+/// protocol Q). `bound` >= Q: with release-at-transmit grant accounting the
+/// conserved quantity is fq + outstanding + granted-cells-in-flight, so the
+/// queue alone may transiently hold up to Q plus the in-flight allowance
+/// (see SiriusSim::transmit_slot).
+void audit_queue_bound(const node::Node& n, std::int32_t queue_limit,
+                       std::int32_t bound);
+
+/// Conservation: injected == delivered + queued + in_flight + dropped.
+void audit_cell_conservation(std::int64_t injected, std::int64_t delivered,
+                             std::int64_t queued, std::int64_t in_flight,
+                             std::int64_t dropped);
+
+/// Structural consistency of a live reorder buffer.
+void audit_reorder(const node::ReorderBuffer& rb);
+
+/// The sequence of released cell seqs must be strictly increasing (the
+/// in-order-release contract, checked from the outside).
+void audit_in_order_release(const std::vector<std::int32_t>& released);
+
+/// All clock phase offsets finite, and every pairwise spread <= bound_ps.
+void audit_clock_offsets(const std::vector<double>& offsets_ps,
+                         double bound_ps);
+
+}  // namespace sirius::check

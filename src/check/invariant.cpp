@@ -1,0 +1,107 @@
+#include "check/invariant.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace sirius::check {
+
+namespace {
+
+// Kept out of the class so the header stays dependency-free for the hot
+// paths that include it (common/time.hpp is pulled in nearly everywhere).
+std::atomic<InvariantMode> g_mode{InvariantMode::kAbort};
+std::atomic<std::int64_t> g_violations{0};
+std::mutex g_reports_mutex;
+std::vector<Violation>& retained() {
+  static std::vector<Violation> reports;
+  return reports;
+}
+
+}  // namespace
+
+InvariantContext& InvariantContext::instance() {
+  static InvariantContext ctx;
+  return ctx;
+}
+
+InvariantMode InvariantContext::mode() const {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+void InvariantContext::set_mode(InvariantMode m) {
+  g_mode.store(m, std::memory_order_relaxed);
+}
+
+std::int64_t InvariantContext::violations() const {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::vector<Violation> InvariantContext::reports() const {
+  const std::lock_guard<std::mutex> lock(g_reports_mutex);
+  return retained();
+}
+
+void InvariantContext::reset() {
+  const std::lock_guard<std::mutex> lock(g_reports_mutex);
+  g_violations.store(0, std::memory_order_relaxed);
+  retained().clear();
+}
+
+std::string InvariantContext::report() const {
+  const std::lock_guard<std::mutex> lock(g_reports_mutex);
+  std::string out = "invariant violations: ";
+  out.append(std::to_string(g_violations.load()));
+  out.push_back('\n');
+  for (const Violation& v : retained()) {
+    out.append("  ");
+    out.append(v.file);
+    out.push_back(':');
+    out.append(std::to_string(v.line));
+    out.append(": ");
+    out.append(v.message);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void InvariantContext::fail(const char* file, int line, const char* expr,
+                            const char* fmt, ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (mode() == InvariantMode::kCollect) {
+    const std::lock_guard<std::mutex> lock(g_reports_mutex);
+    if (retained().size() < kMaxRetained) {
+      retained().push_back(Violation{
+          file, line, std::string(expr) + " — " + buf});
+    }
+    return;
+  }
+  std::fprintf(stderr, "SIRIUS_INVARIANT failed at %s:%d: %s — %s\n", file,
+               line, expr, buf);
+  std::abort();
+}
+
+ScopedCollect::ScopedCollect()
+    : saved_(InvariantContext::instance().mode()),
+      baseline_(InvariantContext::instance().violations()) {
+  InvariantContext::instance().set_mode(InvariantMode::kCollect);
+}
+
+ScopedCollect::~ScopedCollect() {
+  InvariantContext::instance().set_mode(saved_);
+  InvariantContext::instance().reset();
+}
+
+std::int64_t ScopedCollect::violations() const {
+  return InvariantContext::instance().violations() - baseline_;
+}
+
+}  // namespace sirius::check

@@ -2,11 +2,18 @@
 // is measured in hundreds of ps, sync accuracy in +/-5 ps), so the base unit
 // is the picosecond held in a signed 64-bit count. That covers +/-106 days
 // of simulated time, far beyond any experiment here.
+//
+// All factories and arithmetic are overflow-checked via SIRIUS_INVARIANT:
+// an overflow reports a violation and saturates (Time::infinity() is sticky
+// under + and *), so audited kCollect runs stay deterministic instead of
+// hitting signed-overflow UB.
 #pragma once
 
 #include <cstdint>
 #include <compare>
 #include <string>
+
+#include "check/invariant.hpp"
 
 namespace sirius {
 
@@ -20,19 +27,23 @@ class Time {
   constexpr Time() = default;
 
   static constexpr Time ps(std::int64_t v) { return Time{v}; }
-  static constexpr Time ns(std::int64_t v) { return Time{v * 1'000}; }
-  static constexpr Time us(std::int64_t v) { return Time{v * 1'000'000}; }
-  static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  static constexpr Time ns(std::int64_t v) { return scaled(v, 1'000, "Time::ns"); }
+  static constexpr Time us(std::int64_t v) {
+    return scaled(v, 1'000'000, "Time::us");
+  }
+  static constexpr Time ms(std::int64_t v) {
+    return scaled(v, 1'000'000'000, "Time::ms");
+  }
   static constexpr Time sec(std::int64_t v) {
-    return Time{v * 1'000'000'000'000};
+    return scaled(v, 1'000'000'000'000, "Time::sec");
   }
   /// Builds a Time from a floating-point count of nanoseconds (rounds to
   /// the nearest picosecond).
   static constexpr Time from_ns(double v) {
-    return Time{static_cast<std::int64_t>(v * 1e3 + (v >= 0 ? 0.5 : -0.5))};
+    return from_double_ps(v * 1e3, "Time::from_ns");
   }
   static constexpr Time from_sec(double v) {
-    return Time{static_cast<std::int64_t>(v * 1e12 + (v >= 0 ? 0.5 : -0.5))};
+    return from_double_ps(v * 1e12, "Time::from_sec");
   }
 
   /// The largest representable time; used as "never" by schedulers.
@@ -48,27 +59,89 @@ class Time {
   constexpr bool is_infinite() const { return ps_ == INT64_MAX; }
 
   friend constexpr auto operator<=>(Time, Time) = default;
-  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
-  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator+(Time a, Time b) {
+    if (a.is_infinite() || b.is_infinite()) return infinity();
+    std::int64_t r = 0;
+    if (__builtin_add_overflow(a.ps_, b.ps_, &r)) {
+      SIRIUS_INVARIANT(false, "Time overflow: %lld ps + %lld ps",
+                       static_cast<long long>(a.ps_),
+                       static_cast<long long>(b.ps_));
+      return a.ps_ < 0 ? Time{INT64_MIN} : infinity();
+    }
+    return Time{r};
+  }
+  friend constexpr Time operator-(Time a, Time b) {
+    if (a.is_infinite()) return infinity();  // "never" minus anything: never
+    std::int64_t r = 0;
+    if (__builtin_sub_overflow(a.ps_, b.ps_, &r)) {
+      SIRIUS_INVARIANT(false, "Time overflow: %lld ps - %lld ps",
+                       static_cast<long long>(a.ps_),
+                       static_cast<long long>(b.ps_));
+      return a.ps_ < 0 ? Time{INT64_MIN} : infinity();
+    }
+    return Time{r};
+  }
   friend constexpr Time operator*(Time a, std::int64_t k) {
-    return Time{a.ps_ * k};
+    if (a.is_infinite() && k > 0) return infinity();
+    std::int64_t r = 0;
+    if (__builtin_mul_overflow(a.ps_, k, &r)) {
+      SIRIUS_INVARIANT(false, "Time overflow: %lld ps * %lld",
+                       static_cast<long long>(a.ps_),
+                       static_cast<long long>(k));
+      return (a.ps_ < 0) == (k < 0) ? infinity() : Time{INT64_MIN};
+    }
+    return Time{r};
   }
   friend constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
   friend constexpr std::int64_t operator/(Time a, Time b) {
+    SIRIUS_INVARIANT(b.ps_ != 0, "Time division by zero (%lld ps / 0)",
+                     static_cast<long long>(a.ps_));
+    if (b.ps_ == 0) return 0;
     return a.ps_ / b.ps_;
   }
   friend constexpr Time operator/(Time a, std::int64_t k) {
+    SIRIUS_INVARIANT(k != 0, "Time division by zero (%lld ps / 0)",
+                     static_cast<long long>(a.ps_));
+    if (k == 0) return zero();
     return Time{a.ps_ / k};
   }
-  friend constexpr Time operator%(Time a, Time b) { return Time{a.ps_ % b.ps_}; }
-  constexpr Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
-  constexpr Time& operator-=(Time o) { ps_ -= o.ps_; return *this; }
+  friend constexpr Time operator%(Time a, Time b) {
+    SIRIUS_INVARIANT(b.ps_ != 0, "Time modulo by zero (%lld ps %% 0)",
+                     static_cast<long long>(a.ps_));
+    if (b.ps_ == 0) return zero();
+    return Time{a.ps_ % b.ps_};
+  }
+  constexpr Time& operator+=(Time o) { return *this = *this + o; }
+  constexpr Time& operator-=(Time o) { return *this = *this - o; }
 
   /// Human-readable rendering with an auto-selected unit ("3.84 ns").
   std::string to_string() const;
 
  private:
   constexpr explicit Time(std::int64_t v) : ps_(v) {}
+
+  static constexpr Time scaled(std::int64_t v, std::int64_t unit,
+                               const char* what) {
+    std::int64_t ps = 0;
+    if (__builtin_mul_overflow(v, unit, &ps)) {
+      SIRIUS_INVARIANT(false, "%s(%lld) overflows the picosecond tick", what,
+                       static_cast<long long>(v));
+      return v < 0 ? Time{INT64_MIN} : infinity();
+    }
+    return Time{ps};
+  }
+  static constexpr Time from_double_ps(double ps_f, const char* what) {
+    const double rounded = ps_f + (ps_f >= 0 ? 0.5 : -0.5);
+    // 2^63 rounded down to the nearest double below it; also rejects NaN.
+    constexpr double kMax = 9223372036854774784.0;
+    if (!(rounded >= -kMax && rounded <= kMax)) {
+      SIRIUS_INVARIANT(false, "%s: %g ps is outside the representable range",
+                       what, ps_f);
+      return ps_f < 0 ? Time{INT64_MIN} : infinity();
+    }
+    return Time{static_cast<std::int64_t>(rounded)};
+  }
+
   std::int64_t ps_ = 0;
 };
 

@@ -1,10 +1,16 @@
 // Data sizes, data rates and strong identifier types shared by all modules.
+//
+// Like Time, the value types here are overflow- and divide-by-zero-checked
+// through SIRIUS_INVARIANT: violations report and saturate instead of
+// executing signed-overflow or division UB (zero-rate sends return
+// Time::infinity(), oversized constructions clamp to the int64 extremes).
 #pragma once
 
 #include <cstdint>
 #include <compare>
 #include <string>
 
+#include "check/invariant.hpp"
 #include "common/time.hpp"
 
 namespace sirius {
@@ -15,34 +21,73 @@ class DataSize {
   constexpr DataSize() = default;
   static constexpr DataSize bytes(std::int64_t v) { return DataSize{v}; }
   static constexpr DataSize kilobytes(std::int64_t v) {
-    return DataSize{v * 1'000};
+    return scaled(v, 1'000, "DataSize::kilobytes");
   }
   static constexpr DataSize megabytes(std::int64_t v) {
-    return DataSize{v * 1'000'000};
+    return scaled(v, 1'000'000, "DataSize::megabytes");
   }
   static constexpr DataSize zero() { return DataSize{0}; }
 
   constexpr std::int64_t in_bytes() const { return bytes_; }
-  constexpr std::int64_t in_bits() const { return bytes_ * 8; }
+  constexpr std::int64_t in_bits() const {
+    std::int64_t bits = 0;
+    if (__builtin_mul_overflow(bytes_, 8, &bits)) {
+      SIRIUS_INVARIANT(false, "DataSize: %lld bytes overflows the bit count",
+                       static_cast<long long>(bytes_));
+      return bytes_ < 0 ? INT64_MIN : INT64_MAX;
+    }
+    return bits;
+  }
   constexpr double in_kb() const { return static_cast<double>(bytes_) * 1e-3; }
 
   friend constexpr auto operator<=>(DataSize, DataSize) = default;
   friend constexpr DataSize operator+(DataSize a, DataSize b) {
-    return DataSize{a.bytes_ + b.bytes_};
+    std::int64_t r = 0;
+    if (__builtin_add_overflow(a.bytes_, b.bytes_, &r)) {
+      SIRIUS_INVARIANT(false, "DataSize overflow: %lld B + %lld B",
+                       static_cast<long long>(a.bytes_),
+                       static_cast<long long>(b.bytes_));
+      return DataSize{a.bytes_ < 0 ? INT64_MIN : INT64_MAX};
+    }
+    return DataSize{r};
   }
   friend constexpr DataSize operator-(DataSize a, DataSize b) {
-    return DataSize{a.bytes_ - b.bytes_};
+    std::int64_t r = 0;
+    if (__builtin_sub_overflow(a.bytes_, b.bytes_, &r)) {
+      SIRIUS_INVARIANT(false, "DataSize overflow: %lld B - %lld B",
+                       static_cast<long long>(a.bytes_),
+                       static_cast<long long>(b.bytes_));
+      return DataSize{a.bytes_ < 0 ? INT64_MIN : INT64_MAX};
+    }
+    return DataSize{r};
   }
   friend constexpr DataSize operator*(DataSize a, std::int64_t k) {
-    return DataSize{a.bytes_ * k};
+    std::int64_t r = 0;
+    if (__builtin_mul_overflow(a.bytes_, k, &r)) {
+      SIRIUS_INVARIANT(false, "DataSize overflow: %lld B * %lld",
+                       static_cast<long long>(a.bytes_),
+                       static_cast<long long>(k));
+      return DataSize{(a.bytes_ < 0) == (k < 0) ? INT64_MAX : INT64_MIN};
+    }
+    return DataSize{r};
   }
-  constexpr DataSize& operator+=(DataSize o) { bytes_ += o.bytes_; return *this; }
-  constexpr DataSize& operator-=(DataSize o) { bytes_ -= o.bytes_; return *this; }
+  constexpr DataSize& operator+=(DataSize o) { return *this = *this + o; }
+  constexpr DataSize& operator-=(DataSize o) { return *this = *this - o; }
 
   std::string to_string() const;
 
  private:
   constexpr explicit DataSize(std::int64_t v) : bytes_(v) {}
+  static constexpr DataSize scaled(std::int64_t v, std::int64_t unit,
+                                   const char* what) {
+    std::int64_t b = 0;
+    if (__builtin_mul_overflow(v, unit, &b)) {
+      SIRIUS_INVARIANT(false, "%s(%lld) overflows the byte count", what,
+                       static_cast<long long>(v));
+      return DataSize{v < 0 ? INT64_MIN : INT64_MAX};
+    }
+    return DataSize{b};
+  }
   std::int64_t bytes_ = 0;
 };
 
@@ -52,10 +97,10 @@ class DataRate {
   constexpr DataRate() = default;
   static constexpr DataRate bps(std::int64_t v) { return DataRate{v}; }
   static constexpr DataRate gbps(double v) {
-    return DataRate{static_cast<std::int64_t>(v * 1e9 + 0.5)};
+    return from_double_bps(v * 1e9, "DataRate::gbps");
   }
   static constexpr DataRate tbps(double v) {
-    return DataRate{static_cast<std::int64_t>(v * 1e12 + 0.5)};
+    return from_double_bps(v * 1e12, "DataRate::tbps");
   }
   static constexpr DataRate zero() { return DataRate{0}; }
 
@@ -64,11 +109,28 @@ class DataRate {
   constexpr double in_tbps() const { return static_cast<double>(bps_) * 1e-12; }
 
   /// Time to serialise `s` at this rate (rounded up to a whole picosecond).
+  /// A zero or negative rate cannot serialise anything: that is an
+  /// invariant violation, and the defensive result is Time::infinity().
   constexpr Time transmission_time(DataSize s) const {
+    SIRIUS_INVARIANT(bps_ > 0, "transmission_time at %lld bps",
+                     static_cast<long long>(bps_));
+    if (bps_ <= 0) return Time::infinity();
+    SIRIUS_INVARIANT(s.in_bytes() >= 0, "transmission_time of %lld bytes",
+                     static_cast<long long>(s.in_bytes()));
+    if (s.in_bytes() < 0) return Time::zero();
     // bits * 1e12 / bps, computed in double then rounded: flows are <= GBs
-    // so precision is ample.
+    // so precision is ample. Saturate rather than float-cast-overflow when
+    // a huge size meets a tiny rate.
     const double ps =
         static_cast<double>(s.in_bits()) * 1e12 / static_cast<double>(bps_);
+    constexpr double kMax = 9223372036854774784.0;  // below 2^63
+    if (ps >= kMax) {
+      SIRIUS_INVARIANT(false,
+                       "transmission_time overflows: %g ps (%lld B at %lld bps)",
+                       ps, static_cast<long long>(s.in_bytes()),
+                       static_cast<long long>(bps_));
+      return Time::infinity();
+    }
     return Time::ps(static_cast<std::int64_t>(ps + 0.999999));
   }
 
@@ -76,20 +138,44 @@ class DataRate {
   constexpr DataSize bytes_in(Time t) const {
     const double bytes =
         static_cast<double>(bps_) / 8.0 * t.to_sec();
+    constexpr double kMax = 9223372036854774784.0;  // below 2^63
+    if (bytes >= kMax || bytes <= -kMax) {
+      SIRIUS_INVARIANT(false, "bytes_in overflows: %g bytes", bytes);
+      return DataSize::bytes(bytes < 0 ? INT64_MIN : INT64_MAX);
+    }
     return DataSize::bytes(static_cast<std::int64_t>(bytes));
   }
 
   friend constexpr auto operator<=>(DataRate, DataRate) = default;
   friend constexpr DataRate operator+(DataRate a, DataRate b) {
-    return DataRate{a.bps_ + b.bps_};
+    std::int64_t r = 0;
+    if (__builtin_add_overflow(a.bps_, b.bps_, &r)) {
+      SIRIUS_INVARIANT(false, "DataRate overflow: %lld bps + %lld bps",
+                       static_cast<long long>(a.bps_),
+                       static_cast<long long>(b.bps_));
+      return DataRate{a.bps_ < 0 ? INT64_MIN : INT64_MAX};
+    }
+    return DataRate{r};
   }
   friend constexpr DataRate operator*(DataRate a, std::int64_t k) {
-    return DataRate{a.bps_ * k};
+    std::int64_t r = 0;
+    if (__builtin_mul_overflow(a.bps_, k, &r)) {
+      SIRIUS_INVARIANT(false, "DataRate overflow: %lld bps * %lld",
+                       static_cast<long long>(a.bps_),
+                       static_cast<long long>(k));
+      return DataRate{(a.bps_ < 0) == (k < 0) ? INT64_MAX : INT64_MIN};
+    }
+    return DataRate{r};
   }
   friend constexpr DataRate operator/(DataRate a, std::int64_t k) {
+    SIRIUS_INVARIANT(k != 0, "DataRate division by zero (%lld bps / 0)",
+                     static_cast<long long>(a.bps_));
+    if (k == 0) return zero();
     return DataRate{a.bps_ / k};
   }
   friend constexpr double operator/(DataRate a, DataRate b) {
+    SIRIUS_INVARIANT(b.bps_ != 0, "DataRate ratio with zero denominator");
+    if (b.bps_ == 0) return 0.0;
     return static_cast<double>(a.bps_) / static_cast<double>(b.bps_);
   }
 
@@ -97,6 +183,16 @@ class DataRate {
 
  private:
   constexpr explicit DataRate(std::int64_t v) : bps_(v) {}
+  static constexpr DataRate from_double_bps(double v, const char* what) {
+    const double rounded = v + (v >= 0 ? 0.5 : -0.5);
+    constexpr double kMax = 9223372036854774784.0;  // below 2^63
+    if (!(rounded >= -kMax && rounded <= kMax)) {
+      SIRIUS_INVARIANT(false, "%s: %g bps is outside the representable range",
+                       what, v);
+      return DataRate{v < 0 ? INT64_MIN : INT64_MAX};
+    }
+    return DataRate{static_cast<std::int64_t>(rounded)};
+  }
   std::int64_t bps_ = 0;
 };
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "check/invariant.hpp"
 #include "common/units.hpp"
 
 namespace sirius::node {
@@ -22,6 +23,9 @@ struct Cell {
 
 /// Number of cells needed for `size` bytes with `capacity` bytes per cell.
 inline std::int64_t cells_for(DataSize size, DataSize capacity) {
+  SIRIUS_INVARIANT(capacity.in_bytes() > 0, "cells_for with %lld-byte cells",
+                   static_cast<long long>(capacity.in_bytes()));
+  if (capacity.in_bytes() <= 0) return 0;
   return (size.in_bytes() + capacity.in_bytes() - 1) / capacity.in_bytes();
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "check/invariant.hpp"
+
 namespace sirius::node {
 
 Node::Node(NodeId self, const cc::RequestGrantConfig& cc_cfg,
@@ -13,7 +15,10 @@ Node::Node(NodeId self, const cc::RequestGrantConfig& cc_cfg,
 }
 
 void Node::add_flow(const LocalFlow& f) {
-  assert(f.total_cells > 0);
+  SIRIUS_INVARIANT(f.total_cells > 0, "flow %lld arrives with %lld cells",
+                   static_cast<long long>(f.id),
+                   static_cast<long long>(f.total_cells));
+  if (f.total_cells <= 0) return;
   local_.push_back(f);
   const std::size_t idx = local_.size() - 1;
   per_dst_[static_cast<std::size_t>(f.dst_node)].push_back(idx);

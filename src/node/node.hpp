@@ -106,6 +106,10 @@ class Node {
 
   // ---- accounting --------------------------------------------------------
 
+  /// Number of destination slots the per-dst queues span (= node count);
+  /// lets auditors sweep every (node, dst) pair without knowing the config.
+  std::size_t queue_span() const { return fq_.size(); }
+
   /// Peak bytes held in this node's VQs + FQs (Fig. 10c).
   std::int64_t peak_queue_bytes() const { return gauge_.peak_bytes(); }
   std::int64_t current_queue_bytes() const { return gauge_.current_bytes(); }

@@ -1,12 +1,19 @@
 #include "node/reorder_buffer.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/invariant.hpp"
 
 namespace sirius::node {
 
 std::int64_t ReorderBuffer::on_arrival(std::int32_t seq, std::int32_t bytes) {
-  assert(seq >= 0 && seq < total_cells_);
+  SIRIUS_INVARIANT(seq >= 0 && seq < total_cells_,
+                   "reorder: seq %d outside the flow's [0, %lld) cells", seq,
+                   static_cast<long long>(total_cells_));
+  if (seq < 0 || seq >= total_cells_) return 0;
+  SIRIUS_INVARIANT(bytes >= 0, "reorder: cell %d carries %d bytes", seq,
+                   bytes);
+  if (bytes < 0) bytes = 0;
   if (seq < next_expected_) return 0;  // duplicate; ignore
   if (seq > next_expected_) {
     if (pending_.insert(seq).second) {
@@ -15,7 +22,9 @@ std::int64_t ReorderBuffer::on_arrival(std::int32_t seq, std::int32_t bytes) {
     }
     return 0;
   }
-  // In-order arrival: release it plus any buffered successors.
+  // In-order arrival: release it plus any buffered successors. The in-order
+  // prefix only ever grows — that monotonicity is the in-order-release
+  // contract the destination relies on.
   std::int64_t released = 1;
   ++next_expected_;
   auto it = pending_.begin();
@@ -24,6 +33,11 @@ std::int64_t ReorderBuffer::on_arrival(std::int32_t seq, std::int32_t bytes) {
     ++released;
     it = pending_.erase(it);
   }
+  SIRIUS_INVARIANT(next_expected_ <= total_cells_,
+                   "reorder: in-order prefix %lld ran past the flow's %lld "
+                   "cells",
+                   static_cast<long long>(next_expected_),
+                   static_cast<long long>(total_cells_));
   // Conservatively account released buffered cells at full payload: exact
   // byte tracking per seq would need a map; the peak statistic is taken
   // before release so it is unaffected.

@@ -25,6 +25,7 @@ class ReorderBuffer {
   std::int64_t on_arrival(std::int32_t seq, std::int32_t bytes);
 
   bool complete() const { return next_expected_ >= total_cells_; }
+  std::int64_t total_cells() const { return total_cells_; }
   std::int64_t next_expected() const { return next_expected_; }
   std::int64_t buffered_cells() const {
     return static_cast<std::int64_t>(pending_.size());

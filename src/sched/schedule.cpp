@@ -4,14 +4,16 @@
 #include <cassert>
 #include <vector>
 
+#include "check/invariant.hpp"
+
 namespace sirius::sched {
 
 CyclicSchedule::CyclicSchedule(std::int32_t nodes, std::int32_t uplinks)
     : nodes_(nodes),
       uplinks_(uplinks),
       slots_per_round_((nodes - 1 + uplinks - 1) / uplinks) {
-  assert(nodes_ >= 2);
-  assert(uplinks_ >= 1);
+  SIRIUS_INVARIANT(nodes_ >= 2, "schedule over %d nodes", nodes_);
+  SIRIUS_INVARIANT(uplinks_ >= 1, "schedule with %d uplinks", uplinks_);
 }
 
 CyclicSchedule::CyclicSchedule(std::vector<NodeId> members,
@@ -22,9 +24,14 @@ CyclicSchedule::CyclicSchedule(std::vector<NodeId> members,
       members_(true),
       member_count_(static_cast<std::int32_t>(members.size())),
       member_list_(std::move(members)) {
-  assert(member_count_ >= 2);
-  assert(uplinks_ >= 1);
-  assert(std::is_sorted(member_list_.begin(), member_list_.end()));
+  SIRIUS_INVARIANT(member_count_ >= 2, "schedule over %d members",
+                   member_count_);
+  SIRIUS_INVARIANT(uplinks_ >= 1, "schedule with %d uplinks", uplinks_);
+  SIRIUS_INVARIANT(
+      std::is_sorted(member_list_.begin(), member_list_.end()) &&
+          std::adjacent_find(member_list_.begin(), member_list_.end()) ==
+              member_list_.end(),
+      "schedule member list must be sorted and unique");
   slots_per_round_ = (member_count_ - 1 + uplinks_ - 1) / uplinks_;
   member_index_.assign(
       static_cast<std::size_t>(member_list_.back()) + 1, -1);
@@ -81,13 +88,19 @@ NodeId CyclicSchedule::peer_rx(NodeId dst, UplinkId u, std::int64_t t) const {
 
 CyclicSchedule::Connection CyclicSchedule::connection(NodeId src,
                                                       NodeId dst) const {
-  assert(src != dst);
+  SIRIUS_INVARIANT(src != dst, "connection(%d, %d) to itself", src, dst);
   const std::int32_t s = index_of(src);
   const std::int32_t d = index_of(dst);
-  assert(s >= 0 && d >= 0 && "both endpoints must be schedule members");
+  SIRIUS_INVARIANT(s >= 0 && d >= 0,
+                   "connection(%d, %d): both endpoints must be schedule "
+                   "members",
+                   src, dst);
+  if (s < 0 || d < 0 || s == d) return Connection{0, 0};
   const std::int32_t n = nodes();
   const std::int32_t off = (d - s - 1 + 2 * n) % n;
-  assert(off >= 0 && off < n - 1);
+  SIRIUS_INVARIANT(off >= 0 && off < n - 1,
+                   "connection(%d, %d): offset %d outside one round", src,
+                   dst, off);
   return Connection{off % slots_per_round_, off / slots_per_round_};
 }
 

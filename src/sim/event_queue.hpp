@@ -21,7 +21,9 @@ class EventQueue {
  public:
   using Handler = std::function<void()>;
 
-  /// Schedules `h` at absolute time `at` (must not be in the past).
+  /// Schedules `h` at absolute time `at`. Scheduling into the past is an
+  /// invariant violation (SIRIUS_INVARIANT, enforced — not just a comment);
+  /// in kCollect mode the event is defensively clamped to now().
   void schedule_at(Time at, Handler h);
   /// Schedules `h` at now() + delay.
   void schedule_in(Time delay, Handler h) { schedule_at(now_ + delay, h); }
@@ -30,11 +32,15 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
-  /// Runs the next event; returns false if none remain.
+  /// Runs the next event; returns false if none remain. Time never moves
+  /// backwards (audited).
   bool step();
 
   /// Runs until the queue is empty or `until` is passed. Returns the
-  /// number of events executed.
+  /// number of events executed. On return now() == min(until, time of the
+  /// first unexecuted event), and when the queue drained before a finite
+  /// horizon now() advances to `until`, so a subsequent schedule_in() is
+  /// anchored at the horizon rather than at the last executed event.
   std::int64_t run_until(Time until = Time::infinity());
 
  private:

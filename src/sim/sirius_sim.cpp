@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariant.hpp"
+
 namespace sirius::sim {
 
 namespace {
@@ -29,8 +31,9 @@ SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
       sched_(alive_members(cfg), cfg.uplinks()),
       rng_(cfg.seed ^ 0x5349524955u),
       goodput_(cfg.servers(), cfg.server_share()) {
-  assert(workload_.servers == cfg_.servers() &&
-         "workload generated for a different server count");
+  SIRIUS_INVARIANT(workload_.servers == cfg_.servers(),
+                   "workload generated for %d servers, config has %d",
+                   workload_.servers, cfg_.servers());
 
   const cc::RequestGrantConfig cc_cfg{cfg_.racks, cfg_.queue_limit,
                                      cfg_.spread};
@@ -54,6 +57,59 @@ SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
   flows_remaining_ = static_cast<std::int64_t>(workload_.flows.size());
   measure_end_ = workload_.last_arrival();
   completions_.assign(workload_.flows.size(), Time::infinity());
+  register_auditors();
+}
+
+void SiriusSim::register_auditors() {
+  // Per-slot contention-freeness of the static schedule (§4.2): the tx map
+  // must be a partial permutation and peer_rx its inverse.
+  auditors_.register_auditor("schedule-permutation", [this] {
+    check::audit_slot_permutation(sched_, audit_slot_);
+  });
+
+  // The §4.3 queue bound. The grant accounting releases a token when the
+  // granted cell is *transmitted* (see transmit_slot), so between transmit
+  // and landing a cell is neither outstanding nor queued: the audited bound
+  // is Q plus the number of granted cells a fiber flight can overlap
+  // (ceil(prop_slots / slots_per_round) rounds, one grant per dst each).
+  if (!cfg_.ideal && cfg_.routing == RoutingMode::kValiant) {
+    const auto flight_rounds = static_cast<std::int32_t>(
+        (prop_slots_ + sched_.slots_per_round() - 1) /
+        sched_.slots_per_round());
+    const std::int32_t bound = cfg_.queue_limit + flight_rounds + 1;
+    auditors_.register_auditor("queue-bound", [this, bound] {
+      for (const auto& n : nodes_) {
+        check::audit_queue_bound(n, cfg_.queue_limit, bound);
+      }
+    });
+  }
+
+  // Cell conservation: everything taken out of a LOCAL buffer is delivered,
+  // sitting in a VQ/FQ, or on the wire. Nothing is dropped in this sim —
+  // flows touching failed racks are rejected before injecting any cell.
+  auditors_.register_auditor("cell-conservation", [this] {
+    std::int64_t queued = 0;
+    for (const auto& n : nodes_) {
+      for (NodeId d = 0; d < cfg_.racks; ++d) {
+        queued += n.vq_depth(d) + n.fq_depth(d);
+      }
+    }
+    std::int64_t flying = 0;
+    for (const auto& bucket : in_flight_) {
+      flying += static_cast<std::int64_t>(bucket.size());
+    }
+    check::audit_cell_conservation(audit_injected_, cells_delivered_, queued,
+                                   flying, /*dropped=*/0);
+  });
+
+  // Reorder buffers of in-progress flows stay structurally consistent.
+  auditors_.register_auditor("reorder-buffers", [this] {
+    for (const auto& rxp : rx_) {
+      if (rxp != nullptr && !rxp->reorder.complete()) {
+        check::audit_reorder(rxp->reorder);
+      }
+    }
+  });
 }
 
 void SiriusSim::finish_flow(FlowId flow, Time completion) {
@@ -65,7 +121,9 @@ void SiriusSim::finish_flow(FlowId flow, Time completion) {
 
 void SiriusSim::deliver(const node::Cell& cell, Time now) {
   auto& rxp = rx_[static_cast<std::size_t>(cell.flow)];
-  assert(rxp != nullptr && "cell delivered for unknown flow");
+  SIRIUS_INVARIANT(rxp != nullptr, "cell delivered for unknown flow %lld",
+                   static_cast<long long>(cell.flow));
+  if (rxp == nullptr) return;
   RxFlow& rx = *rxp;
 
   // Serialise onto the destination server's downlink.
@@ -144,6 +202,7 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
       auto& src = nodes_[static_cast<std::size_t>(g.to)];
       auto cell = src.take_cell_for(g.dst, now, nic_cell_time_);
       if (cell.has_value()) {
+        ++audit_injected_;
         src.push_vq(g.intermediate, *cell);
       } else {
         inter.cc().on_grant_release(g.dst);
@@ -199,6 +258,7 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
       if (cfg_.routing == RoutingMode::kDirect) {
         // Direct-only: pull the next pending cell addressed to p, if any.
         if (auto cell = n.take_cell_for(p, now, nic_cell_time_)) {
+          ++audit_injected_;
           in_flight_[land_slot].push_back(Arrival{*cell, p});
           ++stat_tx_first_;
         }
@@ -212,6 +272,7 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
       }
       if (cfg_.ideal) {
         if (auto cell = n.take_any_cell(now, nic_cell_time_)) {
+          ++audit_injected_;
           in_flight_[land_slot].push_back(Arrival{*cell, p});
         }
       } else if (auto cell = n.pop_vq(p)) {
@@ -240,7 +301,15 @@ SiriusSimResult SiriusSim::run() {
   for (; flows_remaining_ > 0 && slot < hard_stop; ++slot) {
     const Time now = cfg_.slots.slot_start(slot);
     if (slot % sched_.slots_per_round() == 0) {
-      epoch_boundary(slot / sched_.slots_per_round(), now);
+      const std::int64_t round = slot / sched_.slots_per_round();
+      epoch_boundary(round, now);
+      // Audit between phases, where the ledger is consistent: cells are
+      // delivered, queued, or in an in_flight_ bucket, never mid-move.
+      if (cfg_.audit_period_rounds > 0 &&
+          round % cfg_.audit_period_rounds == 0) {
+        audit_slot_ = slot;
+        auditors_.run_all();
+      }
     }
     inject_arrivals(now);
     land_arrivals(slot, now);
@@ -249,6 +318,10 @@ SiriusSimResult SiriusSim::run() {
   // Land whatever is still in flight so delivery stats are complete.
   for (std::int64_t k = 0; k <= prop_slots_ && flows_remaining_ > 0; ++k) {
     land_arrivals(slot + k, cfg_.slots.slot_start(slot + k));
+  }
+  if (cfg_.audit_period_rounds > 0) {
+    audit_slot_ = slot;
+    auditors_.run_all();
   }
 
   SiriusSimResult r;

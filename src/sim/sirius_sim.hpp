@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/auditors.hpp"
 #include "common/rng.hpp"
 #include "node/node.hpp"
 #include "node/reorder_buffer.hpp"
@@ -75,6 +76,10 @@ struct SiriusSimConfig {
   std::uint64_t seed = 1;
   /// Safety cap: give up this many slots after the last flow arrival.
   std::int64_t max_drain_slots = 5'000'000;
+  /// Run the registered invariant auditors (schedule permutation, queue
+  /// bound, cell conservation, reorder consistency) every this many rounds,
+  /// plus once at the end of the run. 0 disables periodic audits.
+  std::int64_t audit_period_rounds = 64;
   /// Racks that are down for the whole run (§4.5 fault tolerance): the
   /// schedule is built over the alive set, every node excludes them as
   /// relay intermediates, and flows touching them are rejected at
@@ -125,6 +130,8 @@ class SiriusSim {
   SiriusSimResult run();
 
   const sched::CyclicSchedule& schedule() const { return sched_; }
+  /// The invariant auditors this sim registered (see src/check/).
+  const check::AuditorRegistry& auditors() const { return auditors_; }
 
  private:
   struct RxFlow {
@@ -141,6 +148,7 @@ class SiriusSim {
     return server / cfg_.servers_per_rack;
   }
 
+  void register_auditors();
   void epoch_boundary(std::int64_t round, Time now);
   void inject_arrivals(Time now);
   void land_arrivals(std::int64_t slot, Time now);
@@ -168,6 +176,9 @@ class SiriusSim {
   stats::GoodputMeter goodput_;
   stats::OccupancyAggregator reorder_peaks_;
   std::vector<Time> completions_;
+  check::AuditorRegistry auditors_;
+  std::int64_t audit_injected_ = 0;  // cells taken out of any LOCAL buffer
+  std::int64_t audit_slot_ = 0;      // slot the permutation auditor inspects
   std::int64_t cells_delivered_ = 0;
   std::int64_t rejected_flows_ = 0;
   std::int64_t stat_requests_ = 0;

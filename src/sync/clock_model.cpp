@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariant.hpp"
+
 namespace sirius::sync {
 
 LocalClock::LocalClock(const ClockConfig& cfg, Rng& rng)
@@ -20,9 +22,15 @@ void LocalClock::advance(Time dt, Rng& rng) {
     NormalDistribution walk(0.0, walk_intensity_ * std::sqrt(dt_s) * 1e-6);
     freq_error_ += walk.sample(rng);
   }
+  SIRIUS_INVARIANT(std::isfinite(phase_ps_) && std::isfinite(freq_error_),
+                   "clock state degenerated: phase %g ps, freq error %g",
+                   phase_ps_, freq_error_);
 }
 
 void LocalClock::apply_frequency_correction(double delta, double max_step) {
+  SIRIUS_INVARIANT(max_step >= 0.0,
+                   "frequency filter with negative max_step %g", max_step);
+  if (max_step < 0.0) max_step = 0.0;
   freq_error_ -= std::clamp(delta, -max_step, max_step);
 }
 

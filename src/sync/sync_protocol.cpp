@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "check/auditors.hpp"
+#include "check/invariant.hpp"
+
 namespace sirius::sync {
 
 SyncProtocolSim::SyncProtocolSim(SyncProtocolConfig cfg, std::uint64_t seed)
@@ -35,6 +38,11 @@ SyncRunResult SyncProtocolSim::run(std::int64_t epochs,
   NormalDistribution phase_noise(0.0, cfg_.clock.phase_noise_ps);
   std::int32_t leader_slot = 0;
   std::int32_t last_leader = -1;
+  // Post-convergence clock audit (§4.4): only armed while corrections are
+  // actually applied — free-running control experiments diverge by design.
+  const bool audit_offsets = cfg_.pll_gain > 0.0;
+  std::vector<double> offsets_scratch;
+  offsets_scratch.reserve(static_cast<std::size_t>(cfg_.nodes));
 
   for (std::int64_t e = 0; e < epochs; ++e) {
     // Inject scheduled failures.
@@ -57,7 +65,9 @@ SyncRunResult SyncProtocolSim::run(std::int64_t epochs,
       leader_slot = (leader_slot + 1) % cfg_.nodes;
     }
     const std::int32_t leader = next_alive_leader(leader_slot);
-    assert(leader >= 0 && "all nodes failed");
+    SIRIUS_INVARIANT(leader >= 0, "all %d nodes failed by epoch %lld",
+                     cfg_.nodes, static_cast<long long>(e));
+    if (leader < 0) break;
     if (last_leader != -1 && leader != last_leader &&
         failed_[static_cast<std::size_t>(last_leader)]) {
       ++result.leader_failovers;
@@ -97,6 +107,16 @@ SyncRunResult SyncProtocolSim::run(std::int64_t epochs,
     }
     if (result.convergence_epochs < 0 && worst < 10.0) {
       result.convergence_epochs = e;
+    }
+    if (audit_offsets && result.convergence_epochs >= 0 &&
+        e > result.convergence_epochs) {
+      offsets_scratch.clear();
+      for (std::int32_t i = 0; i < cfg_.nodes; ++i) {
+        if (failed_[static_cast<std::size_t>(i)]) continue;
+        offsets_scratch.push_back(
+            clocks_[static_cast<std::size_t>(i)].phase_offset_ps());
+      }
+      check::audit_clock_offsets(offsets_scratch, cfg_.audit_offset_bound_ps);
     }
     if (e >= warmup_epochs) {
       result.max_pairwise_offset_ps =

@@ -28,6 +28,11 @@ struct SyncProtocolConfig {
   /// Max fractional frequency step per correction — the DLL filter that
   /// rejects byzantine/glitched frequency measurements.
   double max_freq_step = 1e-6;
+  /// Audited bound on the pairwise clock spread once the protocol has
+  /// converged (check::audit_clock_offsets). Generous versus the paper's
+  /// +/-5 ps so transients (leader failover, byzantine-clamped slews) pass;
+  /// only meaningful when corrections are active (pll_gain > 0).
+  double audit_offset_bound_ps = 100.0;
   ClockConfig clock = {};
 };
 

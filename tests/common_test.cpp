@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "check/invariant.hpp"
 #include "common/config.hpp"
 #include "common/distributions.hpp"
 #include "common/histogram.hpp"
@@ -231,6 +232,88 @@ TEST(PeakTracker, TracksPeakAndMean) {
   p.observe(3.0);
   EXPECT_DOUBLE_EQ(p.peak(), 5.0);
   EXPECT_DOUBLE_EQ(p.mean(), 3.0);
+}
+
+// ---- overflow / divide-by-zero hardening (check/invariant.hpp) ----------
+// Each defensive path reports a SIRIUS_INVARIANT violation and saturates;
+// the tests run under ScopedCollect so the reports are counted, not fatal.
+
+TEST(TimeHardening, FactoryOverflowSaturates) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(Time::sec(INT64_MAX / 2), Time::infinity());
+  EXPECT_EQ(collect.violations(), 1);
+  EXPECT_EQ(Time::ms(INT64_MIN / 4).picoseconds(), INT64_MIN);
+  EXPECT_EQ(collect.violations(), 2);
+}
+
+TEST(TimeHardening, ArithmeticOverflowSaturates) {
+  check::ScopedCollect collect;
+  const Time big = Time::ps(INT64_MAX - 10);
+  EXPECT_EQ(big + Time::ps(100), Time::infinity());
+  EXPECT_EQ(big * 3, Time::infinity());
+  EXPECT_EQ(collect.violations(), 2);
+}
+
+TEST(TimeHardening, InfinityIsStickyWithoutViolation) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(Time::infinity() + Time::ns(1), Time::infinity());
+  EXPECT_EQ(Time::infinity() - Time::sec(5), Time::infinity());
+  EXPECT_EQ(Time::infinity() * 2, Time::infinity());
+  EXPECT_EQ(collect.violations(), 0);
+}
+
+TEST(TimeHardening, FromDoubleRejectsOutOfRange) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(Time::from_sec(1e30), Time::infinity());
+  EXPECT_EQ(Time::from_ns(std::nan("")), Time::infinity());
+  EXPECT_EQ(collect.violations(), 2);
+}
+
+TEST(TimeHardening, DivisionByZeroIsDefensive) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(Time::ns(100) / Time::zero(), 0);
+  EXPECT_EQ(Time::ns(100) % Time::zero(), Time::zero());
+  EXPECT_EQ(Time::ns(100) / 0, Time::zero());
+  EXPECT_EQ(collect.violations(), 3);
+}
+
+TEST(DataSizeHardening, OverflowSaturates) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(DataSize::megabytes(INT64_MAX / 1'000).in_bytes(), INT64_MAX);
+  EXPECT_EQ(DataSize::bytes(INT64_MAX).in_bits(), INT64_MAX);
+  EXPECT_EQ(DataSize::bytes(INT64_MAX) + DataSize::bytes(1),
+            DataSize::bytes(INT64_MAX));
+  EXPECT_EQ(DataSize::bytes(INT64_MAX / 2) * 4, DataSize::bytes(INT64_MAX));
+  EXPECT_EQ(collect.violations(), 4);
+}
+
+TEST(DataRateHardening, ZeroRateSendNeverCompletes) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(DataRate::zero().transmission_time(DataSize::kilobytes(1)),
+            Time::infinity());
+  EXPECT_EQ(collect.violations(), 1);
+}
+
+TEST(DataRateHardening, HugeSizeAtTinyRateSaturates) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(DataRate::bps(1).transmission_time(DataSize::bytes(INT64_MAX / 8)),
+            Time::infinity());
+  EXPECT_GE(collect.violations(), 1);
+}
+
+TEST(DataRateHardening, DivisionByZeroIsDefensive) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(DataRate::gbps(50) / 0, DataRate::zero());
+  EXPECT_DOUBLE_EQ(DataRate::gbps(50) / DataRate::zero(), 0.0);
+  EXPECT_EQ(collect.violations(), 2);
+}
+
+TEST(DataRateHardening, NormalPathsReportNothing) {
+  check::ScopedCollect collect;
+  EXPECT_EQ(DataRate::gbps(50).transmission_time(DataSize::bytes(562)),
+            Time::ps(89'920));
+  EXPECT_EQ(DataRate::gbps(50).bytes_in(Time::ns(90)).in_bytes(), 562);
+  EXPECT_EQ(collect.violations(), 0);
 }
 
 TEST(EnvConfig, ParsesAndDefaults) {

@@ -69,6 +69,28 @@ TEST(EventQueue, RunUntilStopsAtHorizon) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueue, DrainAdvancesNowToHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(Time::ns(5), [&] { ++fired; });
+  q.run_until(Time::ns(100));
+  // The queue drained before the horizon, but time still advances to it:
+  // a subsequent schedule_in() must anchor at the horizon, not at the last
+  // event, or relative delays silently shrink.
+  EXPECT_EQ(q.now(), Time::ns(100));
+  q.schedule_in(Time::ns(10), [&] { ++fired; });
+  q.run_until();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), Time::ns(110));
+}
+
+TEST(EventQueue, UnboundedDrainKeepsLastEventTime) {
+  EventQueue q;
+  q.schedule_at(Time::ns(7), [] {});
+  q.run_until();  // infinite horizon: now() stays at the last event
+  EXPECT_EQ(q.now(), Time::ns(7));
+}
+
 TEST(EventQueue, NestedScheduling) {
   EventQueue q;
   int depth = 0;
