@@ -34,6 +34,31 @@ if(SIRIUS_SANITIZE)
   endif()
 endif()
 
+# Strict warning set for the unit-defining zone (src/common, src/check):
+# these TUs define the overflow-checked value types everything else trusts,
+# so silent narrowing or shadowing there corrupts every figure downstream.
+set(SIRIUS_STRICT_WARNINGS -Wshadow -Wextra-semi -Wconversion)
+
+# Proves every header under src/ is self-contained: each one is compiled
+# standalone (a generated one-line TU per header), so a header that leans on
+# its includer's includes fails the regular build, not some future refactor.
+function(sirius_add_header_selfcontainment)
+  file(GLOB_RECURSE _headers CONFIGURE_DEPENDS "${CMAKE_SOURCE_DIR}/src/*.hpp")
+  set(_gen_dir "${CMAKE_BINARY_DIR}/header_selfcontainment")
+  set(_stubs "")
+  foreach(_hdr IN LISTS _headers)
+    file(RELATIVE_PATH _rel "${CMAKE_SOURCE_DIR}/src" "${_hdr}")
+    string(REPLACE "/" "__" _name "${_rel}")
+    set(_stub "${_gen_dir}/${_name}.cpp")
+    file(CONFIGURE OUTPUT "${_stub}"
+         CONTENT "#include \"${_rel}\"\n")
+    list(APPEND _stubs "${_stub}")
+  endforeach()
+  add_library(sirius_header_selfcontainment OBJECT ${_stubs})
+  target_include_directories(sirius_header_selfcontainment
+                             PRIVATE "${CMAKE_SOURCE_DIR}/src")
+endfunction()
+
 if(SIRIUS_LINT)
   find_program(SIRIUS_CLANG_TIDY_EXE NAMES clang-tidy)
   if(SIRIUS_CLANG_TIDY_EXE)

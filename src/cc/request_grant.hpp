@@ -77,8 +77,8 @@ class RequestGrantNode {
  public:
   RequestGrantNode(NodeId self, const RequestGrantConfig& cfg);
 
-  NodeId self() const { return self_; }
-  std::int32_t queue_limit() const { return cfg_.queue_limit; }
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] std::int32_t queue_limit() const { return cfg_.queue_limit; }
 
   // ---- intermediate role -------------------------------------------------
 
@@ -150,18 +150,18 @@ class RequestGrantNode {
   void exclude(NodeId node) {
     excluded_[static_cast<std::size_t>(node)] = 1;
   }
-  bool is_excluded(NodeId node) const {
+  [[nodiscard]] bool is_excluded(NodeId node) const {
     return excluded_[static_cast<std::size_t>(node)] != 0;
   }
 
-  std::int32_t outstanding(NodeId dst) const {
+  [[nodiscard]] std::int32_t outstanding(NodeId dst) const {
     return outstanding_[static_cast<std::size_t>(dst)];
   }
 
   /// Protocol counters (cumulative over the node's lifetime).
-  std::int64_t stat_requests_received() const { return stat_requests_; }
-  std::int64_t stat_grants_issued() const { return stat_grants_; }
-  std::int64_t stat_denied_queue_bound() const { return stat_denied_q_; }
+  [[nodiscard]] std::int64_t stat_requests_received() const { return stat_requests_; }
+  [[nodiscard]] std::int64_t stat_grants_issued() const { return stat_grants_; }
+  [[nodiscard]] std::int64_t stat_denied_queue_bound() const { return stat_denied_q_; }
 
   // ---- source role -------------------------------------------------------
 

@@ -26,37 +26,37 @@ class Time {
  public:
   constexpr Time() = default;
 
-  static constexpr Time ps(std::int64_t v) { return Time{v}; }
-  static constexpr Time ns(std::int64_t v) { return scaled(v, 1'000, "Time::ns"); }
-  static constexpr Time us(std::int64_t v) {
+  [[nodiscard]] static constexpr Time ps(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return scaled(v, 1'000, "Time::ns"); }
+  [[nodiscard]] static constexpr Time us(std::int64_t v) {
     return scaled(v, 1'000'000, "Time::us");
   }
-  static constexpr Time ms(std::int64_t v) {
+  [[nodiscard]] static constexpr Time ms(std::int64_t v) {
     return scaled(v, 1'000'000'000, "Time::ms");
   }
-  static constexpr Time sec(std::int64_t v) {
+  [[nodiscard]] static constexpr Time sec(std::int64_t v) {
     return scaled(v, 1'000'000'000'000, "Time::sec");
   }
   /// Builds a Time from a floating-point count of nanoseconds (rounds to
   /// the nearest picosecond).
-  static constexpr Time from_ns(double v) {
+  [[nodiscard]] static constexpr Time from_ns(double v) {
     return from_double_ps(v * 1e3, "Time::from_ns");
   }
-  static constexpr Time from_sec(double v) {
+  [[nodiscard]] static constexpr Time from_sec(double v) {
     return from_double_ps(v * 1e12, "Time::from_sec");
   }
 
   /// The largest representable time; used as "never" by schedulers.
-  static constexpr Time infinity() { return Time{INT64_MAX}; }
-  static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time infinity() { return Time{INT64_MAX}; }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
 
-  constexpr std::int64_t picoseconds() const { return ps_; }
-  constexpr double to_ns() const { return static_cast<double>(ps_) * 1e-3; }
-  constexpr double to_us() const { return static_cast<double>(ps_) * 1e-6; }
-  constexpr double to_ms() const { return static_cast<double>(ps_) * 1e-9; }
-  constexpr double to_sec() const { return static_cast<double>(ps_) * 1e-12; }
+  [[nodiscard]] constexpr std::int64_t picoseconds() const { return ps_; }
+  [[nodiscard]] constexpr double to_ns() const { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(ps_) * 1e-12; }
 
-  constexpr bool is_infinite() const { return ps_ == INT64_MAX; }
+  [[nodiscard]] constexpr bool is_infinite() const { return ps_ == INT64_MAX; }
 
   friend constexpr auto operator<=>(Time, Time) = default;
   friend constexpr Time operator+(Time a, Time b) {
@@ -115,12 +115,12 @@ class Time {
   constexpr Time& operator-=(Time o) { return *this = *this - o; }
 
   /// Human-readable rendering with an auto-selected unit ("3.84 ns").
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
  private:
   constexpr explicit Time(std::int64_t v) : ps_(v) {}
 
-  static constexpr Time scaled(std::int64_t v, std::int64_t unit,
+  [[nodiscard]] static constexpr Time scaled(std::int64_t v, std::int64_t unit,
                                const char* what) {
     std::int64_t ps = 0;
     if (__builtin_mul_overflow(v, unit, &ps)) {
@@ -130,7 +130,7 @@ class Time {
     }
     return Time{ps};
   }
-  static constexpr Time from_double_ps(double ps_f, const char* what) {
+  [[nodiscard]] static constexpr Time from_double_ps(double ps_f, const char* what) {
     const double rounded = ps_f + (ps_f >= 0 ? 0.5 : -0.5);
     // 2^63 rounded down to the nearest double below it; also rejects NaN.
     constexpr double kMax = 9223372036854774784.0;

@@ -19,17 +19,17 @@ namespace sirius {
 class DataSize {
  public:
   constexpr DataSize() = default;
-  static constexpr DataSize bytes(std::int64_t v) { return DataSize{v}; }
-  static constexpr DataSize kilobytes(std::int64_t v) {
+  [[nodiscard]] static constexpr DataSize bytes(std::int64_t v) { return DataSize{v}; }
+  [[nodiscard]] static constexpr DataSize kilobytes(std::int64_t v) {
     return scaled(v, 1'000, "DataSize::kilobytes");
   }
-  static constexpr DataSize megabytes(std::int64_t v) {
+  [[nodiscard]] static constexpr DataSize megabytes(std::int64_t v) {
     return scaled(v, 1'000'000, "DataSize::megabytes");
   }
-  static constexpr DataSize zero() { return DataSize{0}; }
+  [[nodiscard]] static constexpr DataSize zero() { return DataSize{0}; }
 
-  constexpr std::int64_t in_bytes() const { return bytes_; }
-  constexpr std::int64_t in_bits() const {
+  [[nodiscard]] constexpr std::int64_t in_bytes() const { return bytes_; }
+  [[nodiscard]] constexpr std::int64_t in_bits() const {
     std::int64_t bits = 0;
     if (__builtin_mul_overflow(bytes_, 8, &bits)) {
       SIRIUS_INVARIANT(false, "DataSize: %lld bytes overflows the bit count",
@@ -38,7 +38,7 @@ class DataSize {
     }
     return bits;
   }
-  constexpr double in_kb() const { return static_cast<double>(bytes_) * 1e-3; }
+  [[nodiscard]] constexpr double in_kb() const { return static_cast<double>(bytes_) * 1e-3; }
 
   friend constexpr auto operator<=>(DataSize, DataSize) = default;
   friend constexpr DataSize operator+(DataSize a, DataSize b) {
@@ -74,11 +74,11 @@ class DataSize {
   constexpr DataSize& operator+=(DataSize o) { return *this = *this + o; }
   constexpr DataSize& operator-=(DataSize o) { return *this = *this - o; }
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
  private:
   constexpr explicit DataSize(std::int64_t v) : bytes_(v) {}
-  static constexpr DataSize scaled(std::int64_t v, std::int64_t unit,
+  [[nodiscard]] static constexpr DataSize scaled(std::int64_t v, std::int64_t unit,
                                    const char* what) {
     std::int64_t b = 0;
     if (__builtin_mul_overflow(v, unit, &b)) {
@@ -91,27 +91,38 @@ class DataSize {
   std::int64_t bytes_ = 0;
 };
 
+/// Ceiling division of two sizes: how many `unit`-sized pieces cover `a`
+/// (e.g. cells per flow, packets per flow). Lives here so callers outside
+/// src/common never need the raw byte counts. A non-positive unit is an
+/// invariant violation; the defensive result is 0.
+[[nodiscard]] constexpr std::int64_t div_ceil(DataSize a, DataSize unit) {
+  SIRIUS_INVARIANT(unit.in_bytes() > 0, "div_ceil with %lld-byte unit",
+                   static_cast<long long>(unit.in_bytes()));
+  if (unit.in_bytes() <= 0) return 0;
+  return (a.in_bytes() + unit.in_bytes() - 1) / unit.in_bytes();
+}
+
 /// A data rate. Stored in bits per second.
 class DataRate {
  public:
   constexpr DataRate() = default;
-  static constexpr DataRate bps(std::int64_t v) { return DataRate{v}; }
-  static constexpr DataRate gbps(double v) {
+  [[nodiscard]] static constexpr DataRate bps(std::int64_t v) { return DataRate{v}; }
+  [[nodiscard]] static constexpr DataRate gbps(double v) {
     return from_double_bps(v * 1e9, "DataRate::gbps");
   }
-  static constexpr DataRate tbps(double v) {
+  [[nodiscard]] static constexpr DataRate tbps(double v) {
     return from_double_bps(v * 1e12, "DataRate::tbps");
   }
-  static constexpr DataRate zero() { return DataRate{0}; }
+  [[nodiscard]] static constexpr DataRate zero() { return DataRate{0}; }
 
-  constexpr std::int64_t bits_per_sec() const { return bps_; }
-  constexpr double in_gbps() const { return static_cast<double>(bps_) * 1e-9; }
-  constexpr double in_tbps() const { return static_cast<double>(bps_) * 1e-12; }
+  [[nodiscard]] constexpr std::int64_t bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double in_gbps() const { return static_cast<double>(bps_) * 1e-9; }
+  [[nodiscard]] constexpr double in_tbps() const { return static_cast<double>(bps_) * 1e-12; }
 
   /// Time to serialise `s` at this rate (rounded up to a whole picosecond).
   /// A zero or negative rate cannot serialise anything: that is an
   /// invariant violation, and the defensive result is Time::infinity().
-  constexpr Time transmission_time(DataSize s) const {
+  [[nodiscard]] constexpr Time transmission_time(DataSize s) const {
     SIRIUS_INVARIANT(bps_ > 0, "transmission_time at %lld bps",
                      static_cast<long long>(bps_));
     if (bps_ <= 0) return Time::infinity();
@@ -135,7 +146,7 @@ class DataRate {
   }
 
   /// Bytes delivered in `t` at this rate (rounded down).
-  constexpr DataSize bytes_in(Time t) const {
+  [[nodiscard]] constexpr DataSize bytes_in(Time t) const {
     const double bytes =
         static_cast<double>(bps_) / 8.0 * t.to_sec();
     constexpr double kMax = 9223372036854774784.0;  // below 2^63
@@ -179,11 +190,11 @@ class DataRate {
     return static_cast<double>(a.bps_) / static_cast<double>(b.bps_);
   }
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
  private:
   constexpr explicit DataRate(std::int64_t v) : bps_(v) {}
-  static constexpr DataRate from_double_bps(double v, const char* what) {
+  [[nodiscard]] static constexpr DataRate from_double_bps(double v, const char* what) {
     const double rounded = v + (v >= 0 ? 0.5 : -0.5);
     constexpr double kMax = 9223372036854774784.0;  // below 2^63
     if (!(rounded >= -kMax && rounded <= kMax)) {

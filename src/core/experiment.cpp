@@ -91,13 +91,17 @@ RunMetrics run_esn(const ExperimentConfig& cfg, std::int32_t oversub,
   return run_esn(cfg, oversub, w);
 }
 
+// The print_metrics_* helpers exist solely so the figure/CLI binaries share
+// one table format; stdout is their contract.
 void print_metrics_header() {
+  // sirius-lint: allow(no-stdio)
   std::printf("%-16s %6s %14s %9s %12s %13s %10s\n", "system", "load",
               "fct99_short_ms", "goodput", "queue_pk_kb", "reorder_pk_kb",
               "incomplete");
 }
 
 void print_metrics_row(const RunMetrics& m) {
+  // sirius-lint: allow(no-stdio)
   std::printf("%-16s %5.0f%% %14.4f %9.3f %12.1f %13.1f %10lld\n",
               m.system.c_str(), m.load * 100.0, m.short_fct_p99_ms, m.goodput,
               m.queue_peak_kb, m.reorder_peak_kb,

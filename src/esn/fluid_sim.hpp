@@ -35,7 +35,7 @@ struct EsnConfig {
   /// forward through the Clos tiers).
   Time base_latency = Time::us(2);
 
-  std::int32_t servers() const { return racks * servers_per_rack; }
+  [[nodiscard]] std::int32_t servers() const { return racks * servers_per_rack; }
 };
 
 struct EsnSimResult {
@@ -63,10 +63,10 @@ class EsnFluidSim {
   };
 
   void recompute_rates();
-  std::int32_t src_constraint(const workload::Flow& f) const;
-  std::int32_t dst_constraint(const workload::Flow& f) const;
-  std::int32_t rack_up_constraint(const workload::Flow& f) const;
-  std::int32_t rack_down_constraint(const workload::Flow& f) const;
+  [[nodiscard]] std::int32_t src_constraint(const workload::Flow& f) const;
+  [[nodiscard]] std::int32_t dst_constraint(const workload::Flow& f) const;
+  [[nodiscard]] std::int32_t rack_up_constraint(const workload::Flow& f) const;
+  [[nodiscard]] std::int32_t rack_down_constraint(const workload::Flow& f) const;
 
   EsnConfig cfg_;
   const workload::Workload& workload_;

@@ -52,7 +52,7 @@ class PacketClosSim {
   void inject_next(FlowId flow);
   void enqueue(std::int32_t port_id, Packet p);
   void serve(std::int32_t port_id);
-  std::int32_t port_for(const Packet& p) const;
+  [[nodiscard]] std::int32_t port_for(const Packet& p) const;
   void on_served(Packet p);
 
   PacketClosConfig cfg_;

@@ -31,12 +31,12 @@ class ReedSolomon {
   /// symbol to RS(544,514)'s t = 15.
   static ReedSolomon kp4_like() { return ReedSolomon(254, 224); }
 
-  std::int32_t n() const { return n_; }
-  std::int32_t k() const { return k_; }
+  [[nodiscard]] std::int32_t n() const { return n_; }
+  [[nodiscard]] std::int32_t k() const { return k_; }
   /// Maximum correctable symbol errors per codeword.
-  std::int32_t t() const { return (n_ - k_) / 2; }
+  [[nodiscard]] std::int32_t t() const { return (n_ - k_) / 2; }
   /// Code rate k/n.
-  double rate() const { return static_cast<double>(k_) / n_; }
+  [[nodiscard]] double rate() const { return static_cast<double>(k_) / n_; }
 
   /// Encodes `data` (exactly k bytes) into an n-byte systematic codeword
   /// (data first, parity appended).
@@ -48,7 +48,7 @@ class ReedSolomon {
       std::span<const std::uint8_t> received) const;
 
   /// Number of symbol errors corrected by the last successful decode.
-  std::int32_t last_corrections() const { return last_corrections_; }
+  [[nodiscard]] std::int32_t last_corrections() const { return last_corrections_; }
 
  private:
   std::vector<std::uint8_t> syndromes(

@@ -54,6 +54,11 @@ CellCodec::CellCodec(DataSize cell_size, std::int32_t preamble_bytes)
   assert(payload_capacity() > 0 && "cell too small for header + preamble");
 }
 
+std::int32_t CellCodec::payload_capacity() const {
+  return static_cast<std::int32_t>(cell_.in_bytes()) - preamble_ -
+         kHeaderBytes - kCrcBytes;
+}
+
 std::vector<std::uint8_t> CellCodec::encode(const CellFrame& f) const {
   assert(static_cast<std::int32_t>(f.payload.size()) <= payload_capacity());
   std::vector<std::uint8_t> out;

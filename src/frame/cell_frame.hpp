@@ -72,17 +72,14 @@ class CellCodec {
   explicit CellCodec(DataSize cell_size = DataSize::bytes(562),
                      std::int32_t preamble_bytes = 4);
 
-  std::int32_t preamble_bytes() const { return preamble_; }
+  [[nodiscard]] std::int32_t preamble_bytes() const { return preamble_; }
   /// Fixed header+trailer overhead excluding the preamble.
   static constexpr std::int32_t kHeaderBytes = 31;
   static constexpr std::int32_t kCrcBytes = 4;
 
-  DataSize cell_size() const { return cell_; }
+  [[nodiscard]] DataSize cell_size() const { return cell_; }
   /// Application bytes one cell can carry.
-  std::int32_t payload_capacity() const {
-    return static_cast<std::int32_t>(cell_.in_bytes()) - preamble_ -
-           kHeaderBytes - kCrcBytes;
-  }
+  [[nodiscard]] std::int32_t payload_capacity() const;
 
   /// Encodes `f` into exactly cell_size() bytes (payload padded with
   /// zeros). Requires f.payload.size() <= payload_capacity().

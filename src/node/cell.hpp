@@ -8,7 +8,6 @@
 
 #include <cstdint>
 
-#include "check/invariant.hpp"
 #include "common/units.hpp"
 
 namespace sirius::node {
@@ -22,20 +21,19 @@ struct Cell {
 };
 
 /// Number of cells needed for `size` bytes with `capacity` bytes per cell.
-inline std::int64_t cells_for(DataSize size, DataSize capacity) {
-  SIRIUS_INVARIANT(capacity.in_bytes() > 0, "cells_for with %lld-byte cells",
-                   static_cast<long long>(capacity.in_bytes()));
-  if (capacity.in_bytes() <= 0) return 0;
-  return (size.in_bytes() + capacity.in_bytes() - 1) / capacity.in_bytes();
+[[nodiscard]] inline std::int64_t cells_for(DataSize size, DataSize capacity) {
+  return div_ceil(size, capacity);
 }
 
 /// Application bytes carried by cell `seq` of a `size`-byte flow.
-inline std::int32_t payload_of(DataSize size, DataSize capacity,
-                               std::int32_t seq) {
+[[nodiscard]] inline std::int32_t payload_of(DataSize size, DataSize capacity,
+                                             std::int32_t seq) {
   const std::int64_t total = cells_for(size, capacity);
+  const DataSize last = size - capacity * (total - 1);
+  // Cell::payload_bytes is a wire-format int32, so the last cell's size must
+  // leave the strong type here. sirius-lint: allow(unit-escape)
   if (seq + 1 < total) return static_cast<std::int32_t>(capacity.in_bytes());
-  return static_cast<std::int32_t>(size.in_bytes() -
-                                   capacity.in_bytes() * (total - 1));
+  return static_cast<std::int32_t>(last.in_bytes());  // sirius-lint: allow(unit-escape)
 }
 
 }  // namespace sirius::node

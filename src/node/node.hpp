@@ -35,22 +35,22 @@ struct LocalFlow {
   std::int64_t moved_cells = 0;  ///< cells already moved out of LOCAL
   /// Cells made available so far by the server->rack link (grows at the
   /// injection rate from `arrival`).
-  std::int64_t available(Time now, Time cell_interval) const {
+  [[nodiscard]] std::int64_t available(Time now, Time cell_interval) const {
     if (now < arrival) return 0;
     const std::int64_t released = (now - arrival) / cell_interval + 1;
     return std::min(total_cells, released);
   }
-  std::int64_t pending(Time now, Time cell_interval) const {
+  [[nodiscard]] std::int64_t pending(Time now, Time cell_interval) const {
     return available(now, cell_interval) - moved_cells;
   }
-  bool exhausted() const { return moved_cells >= total_cells; }
+  [[nodiscard]] bool exhausted() const { return moved_cells >= total_cells; }
 };
 
 class Node {
  public:
   Node(NodeId self, const cc::RequestGrantConfig& cc_cfg, DataSize cell_capacity);
 
-  NodeId self() const { return self_; }
+  [[nodiscard]] NodeId self() const { return self_; }
   cc::RequestGrantNode& cc() { return cc_; }
   const cc::RequestGrantNode& cc() const { return cc_; }
 
@@ -70,7 +70,7 @@ class Node {
 
   /// True if any flow still has cells not yet moved out of LOCAL
   /// (regardless of injection pacing).
-  bool has_unfinished_flows() const { return unfinished_flows_ > 0; }
+  [[nodiscard]] bool has_unfinished_flows() const { return unfinished_flows_ > 0; }
 
   /// On grant receipt: takes the oldest pending cell for `dst` out of
   /// LOCAL. Returns nullopt if no such cell exists (grant is released).
@@ -84,10 +84,10 @@ class Node {
 
   void push_vq(NodeId intermediate, const Cell& c);
   std::optional<Cell> pop_vq(NodeId intermediate);
-  bool vq_empty(NodeId intermediate) const {
+  [[nodiscard]] bool vq_empty(NodeId intermediate) const {
     return vq_[static_cast<std::size_t>(intermediate)].empty();
   }
-  std::int32_t vq_depth(NodeId intermediate) const {
+  [[nodiscard]] std::int32_t vq_depth(NodeId intermediate) const {
     return static_cast<std::int32_t>(
         vq_[static_cast<std::size_t>(intermediate)].size());
   }
@@ -96,10 +96,10 @@ class Node {
 
   void push_fq(NodeId dst, const Cell& c);
   std::optional<Cell> pop_fq(NodeId dst);
-  bool fq_empty(NodeId dst) const {
+  [[nodiscard]] bool fq_empty(NodeId dst) const {
     return fq_[static_cast<std::size_t>(dst)].empty();
   }
-  std::int32_t fq_depth(NodeId dst) const {
+  [[nodiscard]] std::int32_t fq_depth(NodeId dst) const {
     return static_cast<std::int32_t>(
         fq_[static_cast<std::size_t>(dst)].size());
   }
@@ -108,11 +108,11 @@ class Node {
 
   /// Number of destination slots the per-dst queues span (= node count);
   /// lets auditors sweep every (node, dst) pair without knowing the config.
-  std::size_t queue_span() const { return fq_.size(); }
+  [[nodiscard]] std::size_t queue_span() const { return fq_.size(); }
 
-  /// Peak bytes held in this node's VQs + FQs (Fig. 10c).
-  std::int64_t peak_queue_bytes() const { return gauge_.peak_bytes(); }
-  std::int64_t current_queue_bytes() const { return gauge_.current_bytes(); }
+  /// Peak data held in this node's VQs + FQs (Fig. 10c).
+  [[nodiscard]] DataSize peak_queue() const { return gauge_.peak(); }
+  [[nodiscard]] DataSize current_queue() const { return gauge_.current(); }
 
  private:
   LocalFlow* oldest_pending_flow_for(NodeId dst, Time now, Time cell_interval);

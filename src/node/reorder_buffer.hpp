@@ -24,14 +24,16 @@ class ReorderBuffer {
   /// `seq` extended the in-order prefix).
   std::int64_t on_arrival(std::int32_t seq, std::int32_t bytes);
 
-  bool complete() const { return next_expected_ >= total_cells_; }
-  std::int64_t total_cells() const { return total_cells_; }
-  std::int64_t next_expected() const { return next_expected_; }
-  std::int64_t buffered_cells() const {
+  [[nodiscard]] bool complete() const { return next_expected_ >= total_cells_; }
+  [[nodiscard]] std::int64_t total_cells() const { return total_cells_; }
+  [[nodiscard]] std::int64_t next_expected() const { return next_expected_; }
+  [[nodiscard]] std::int64_t buffered_cells() const {
     return static_cast<std::int64_t>(pending_.size());
   }
-  /// Peak bytes ever held out of order.
-  std::int64_t peak_buffered_bytes() const { return peak_bytes_; }
+  /// Peak data ever held out of order.
+  [[nodiscard]] DataSize peak_buffered() const {
+    return DataSize::bytes(peak_bytes_);
+  }
 
  private:
   std::int64_t total_cells_;

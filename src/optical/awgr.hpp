@@ -24,12 +24,12 @@ class Awgr {
     assert(ports > 0);
   }
 
-  std::int32_t ports() const { return ports_; }
-  double insertion_loss_db() const { return insertion_loss_db_; }
+  [[nodiscard]] std::int32_t ports() const { return ports_; }
+  [[nodiscard]] double insertion_loss_db() const { return insertion_loss_db_; }
 
   /// Output port for light of wavelength index `w` entering input `input`.
   /// Implements the cyclic routing W[i][j] -> output (i + j) mod P.
-  std::int32_t route(std::int32_t input, WavelengthId w) const {
+  [[nodiscard]] std::int32_t route(std::int32_t input, WavelengthId w) const {
     assert(input >= 0 && input < ports_);
     assert(w >= 0);
     return static_cast<std::int32_t>((input + w) % ports_);
@@ -37,7 +37,7 @@ class Awgr {
 
   /// The wavelength a sender on `input` must tune to so its light exits on
   /// `output` — inverse of route(). route(input, λ) == output always holds.
-  WavelengthId wavelength_for(std::int32_t input, std::int32_t output) const {
+  [[nodiscard]] WavelengthId wavelength_for(std::int32_t input, std::int32_t output) const {
     assert(input >= 0 && input < ports_);
     assert(output >= 0 && output < ports_);
     return static_cast<WavelengthId>((output - input + ports_) % ports_);

@@ -36,17 +36,17 @@ class BerModel {
   const BerModelConfig& config() const { return cfg_; }
 
   /// Q factor at a given received power (linear in optical power in mW).
-  double q_factor(OpticalPower received) const;
+  [[nodiscard]] double q_factor(OpticalPower received) const;
 
   /// Pre-FEC bit error rate at `received` power.
-  double pre_fec_ber(OpticalPower received) const;
+  [[nodiscard]] double pre_fec_ber(OpticalPower received) const;
 
   /// Post-FEC BER: effectively 0 (clamped to 1e-15) below threshold, and
   /// a steep hard-decision RS error floor above it.
-  double post_fec_ber(OpticalPower received) const;
+  [[nodiscard]] double post_fec_ber(OpticalPower received) const;
 
   /// True if the link is post-FEC error-free (BER < 1e-12) at this power.
-  bool error_free(OpticalPower received) const;
+  [[nodiscard]] bool error_free(OpticalPower received) const;
 
  private:
   BerModelConfig cfg_;

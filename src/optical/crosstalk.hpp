@@ -34,21 +34,21 @@ class CrosstalkModel {
 
   /// Total crosstalk power relative to the signal (linear ratio) at one
   /// output of a `ports`-port AWGR with all inputs active.
-  double total_crosstalk_ratio(std::int32_t ports) const;
+  [[nodiscard]] double total_crosstalk_ratio(std::int32_t ports) const;
 
   /// Same, in dB below the signal (positive number = that many dB down).
-  double total_crosstalk_db(std::int32_t ports) const;
+  [[nodiscard]] double total_crosstalk_db(std::int32_t ports) const;
 
   /// Receiver power penalty in dB: the extra signal power needed to keep
   /// the same decision-point SNR despite interferer power eps (standard
   /// coherent-crosstalk penalty approximation -5*log10(1 - eps * Q^2...)
   /// simplified to the interferometric bound -10*log10(1 - 2*sqrt(eps))
   /// clamped at a practical ceiling).
-  double power_penalty_db(std::int32_t ports) const;
+  [[nodiscard]] double power_penalty_db(std::int32_t ports) const;
 
   /// Largest port count whose penalty stays within `margin_db` — the
   /// crosstalk-limited grating radix for a given link budget margin.
-  std::int32_t max_ports_within_penalty(double margin_db,
+  [[nodiscard]] std::int32_t max_ports_within_penalty(double margin_db,
                                         std::int32_t limit = 4'096) const;
 
  private:

@@ -68,11 +68,11 @@ class TunableBankLaser final : public TunableSource {
   Time worst_case_latency() const override;
   double power_watts() const override;
 
-  std::int32_t bank_size() const {
+  [[nodiscard]] std::int32_t bank_size() const {
     return static_cast<std::int32_t>(lasers_.size());
   }
   /// True if the last tune_to() was served from a pre-tuned laser.
-  bool last_tune_was_pipelined() const { return last_pipelined_; }
+  [[nodiscard]] bool last_tune_was_pipelined() const { return last_pipelined_; }
 
  private:
   std::vector<DsdbrLaser> lasers_;

@@ -56,14 +56,14 @@ class DsdbrLaser final : public TunableSource {
   const DsdbrConfig& config() const { return cfg_; }
   std::int32_t wavelengths() const override { return cfg_.wavelengths; }
   WavelengthId current() const override { return current_; }
-  WavelengthId current_wavelength() const { return current_; }
+  [[nodiscard]] WavelengthId current_wavelength() const { return current_; }
   /// A tunable laser draws ~3.8 W versus ~1 W for a fixed laser (§5).
   double power_watts() const override { return 3.8; }
 
   /// Settle time for tuning from `from` to `to`. Deterministic per pair:
   /// grows as span^1.5 (larger current step -> longer ringing) with a
   /// per-pair ringing wobble, capped at the configured worst case.
-  Time tuning_latency(WavelengthId from, WavelengthId to) const;
+  [[nodiscard]] Time tuning_latency(WavelengthId from, WavelengthId to) const;
 
   /// Retunes the laser; returns the settle time consumed.
   Time tune_to(WavelengthId to) override;
@@ -77,10 +77,10 @@ class DsdbrLaser final : public TunableSource {
   /// Largest tuning_latency over all ordered pairs (12,432 for 112 channels).
   Time worst_case_latency() const override;
   /// Median tuning_latency over all ordered pairs.
-  Time median_latency() const;
+  [[nodiscard]] Time median_latency() const;
 
  private:
-  double pair_wobble(WavelengthId from, WavelengthId to) const;
+  [[nodiscard]] double pair_wobble(WavelengthId from, WavelengthId to) const;
 
   DsdbrConfig cfg_;
   WavelengthId current_ = 0;

@@ -29,7 +29,7 @@ class LinkBudget {
   const LinkBudgetConfig& config() const { return cfg_; }
 
   /// Total optical loss along the lightpath plus margin, in dB.
-  double total_loss_db() const {
+  [[nodiscard]] double total_loss_db() const {
     return cfg_.grating_insertion_loss_db + cfg_.coupling_modulator_loss_db +
            cfg_.margin_db;
   }
@@ -46,18 +46,18 @@ class LinkBudget {
   }
 
   /// True if `launch` closes the link.
-  bool closes(OpticalPower launch) const {
+  [[nodiscard]] bool closes(OpticalPower launch) const {
     return received_power(launch) >= cfg_.receiver_sensitivity;
   }
 
   /// How many transceivers one laser of power `laser` can feed: the largest
   /// n such that laser power split n ways still meets the launch
   /// requirement. (Paper: a 16 dBm laser shared across 8 transceivers.)
-  std::int32_t max_sharing_degree(OpticalPower laser) const;
+  [[nodiscard]] std::int32_t max_sharing_degree(OpticalPower laser) const;
 
   /// Tunable laser chips needed for a node with `uplinks` transceivers
   /// given laser output power (Paper: 256 uplinks / 16 dBm -> 32 chips).
-  std::int32_t lasers_needed(std::int32_t uplinks, OpticalPower laser) const;
+  [[nodiscard]] std::int32_t lasers_needed(std::int32_t uplinks, OpticalPower laser) const;
 
  private:
   LinkBudgetConfig cfg_;

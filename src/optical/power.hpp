@@ -18,8 +18,8 @@ class OpticalPower {
     return OpticalPower{10.0 * std::log10(mw)};
   }
 
-  constexpr double in_dbm() const { return dbm_; }
-  double in_mw() const { return std::pow(10.0, dbm_ / 10.0); }
+  [[nodiscard]] constexpr double in_dbm() const { return dbm_; }
+  [[nodiscard]] double in_mw() const { return std::pow(10.0, dbm_ / 10.0); }
 
   /// Power after losing `loss_db` decibels (fiber, grating, coupling...).
   constexpr OpticalPower attenuated(double loss_db) const {
@@ -50,12 +50,12 @@ class WavelengthGrid {
   explicit WavelengthGrid(std::int32_t channels, double spacing_ghz = 50.0)
       : channels_(channels), spacing_ghz_(spacing_ghz) {}
 
-  std::int32_t channels() const { return channels_; }
-  double spacing_ghz() const { return spacing_ghz_; }
+  [[nodiscard]] std::int32_t channels() const { return channels_; }
+  [[nodiscard]] double spacing_ghz() const { return spacing_ghz_; }
 
   /// Optical frequency of channel `w` in THz. Channel 0 sits at the low end
   /// of the band so that the grid is centred on 193.1 THz.
-  double frequency_thz(WavelengthId w) const {
+  [[nodiscard]] double frequency_thz(WavelengthId w) const {
     const double center = 193.1;
     const double offset =
         (static_cast<double>(w) - static_cast<double>(channels_ - 1) / 2.0) *
@@ -64,13 +64,13 @@ class WavelengthGrid {
   }
 
   /// Vacuum wavelength of channel `w` in nanometres (c / f).
-  double wavelength_nm(WavelengthId w) const {
+  [[nodiscard]] double wavelength_nm(WavelengthId w) const {
     const double c_nm_per_s = 2.99792458e17;  // speed of light in nm/s
     return c_nm_per_s / (frequency_thz(w) * 1e12);
   }
 
   /// Channel distance |i - j| — the quantity that drives DSDBR settle time.
-  std::int32_t span(WavelengthId i, WavelengthId j) const {
+  [[nodiscard]] std::int32_t span(WavelengthId i, WavelengthId j) const {
     return std::abs(i - j);
   }
 

@@ -40,20 +40,20 @@ class SoaGate {
   SoaGate(const SoaConfig& cfg, Rng& rng);
 
   /// 10–90 % turn-on time of this device.
-  Time rise_time() const { return rise_; }
+  [[nodiscard]] Time rise_time() const { return rise_; }
   /// 90–10 % turn-off time of this device.
-  Time fall_time() const { return fall_; }
+  [[nodiscard]] Time fall_time() const { return fall_; }
 
-  bool is_on() const { return on_; }
+  [[nodiscard]] bool is_on() const { return on_; }
   /// Drives the gate on; returns the transition time.
   Time turn_on();
   /// Drives the gate off; returns the transition time.
   Time turn_off();
 
-  double gain_db() const { return cfg_.gain_db; }
-  double extinction_db() const { return cfg_.extinction_db; }
+  [[nodiscard]] double gain_db() const { return cfg_.gain_db; }
+  [[nodiscard]] double extinction_db() const { return cfg_.extinction_db; }
   /// Electrical power drawn right now (only the on-state SOA consumes).
-  double power_mw() const { return on_ ? cfg_.power_mw : 0.0; }
+  [[nodiscard]] double power_mw() const { return on_ ? cfg_.power_mw : 0.0; }
 
  private:
   SoaConfig cfg_;
@@ -68,10 +68,10 @@ class SoaArray {
  public:
   SoaArray(std::int32_t n, const SoaConfig& cfg, Rng& rng);
 
-  std::int32_t size() const { return static_cast<std::int32_t>(gates_.size()); }
+  [[nodiscard]] std::int32_t size() const { return static_cast<std::int32_t>(gates_.size()); }
   const SoaGate& gate(std::int32_t i) const { return gates_.at(static_cast<std::size_t>(i)); }
 
-  std::int32_t selected() const { return selected_; }
+  [[nodiscard]] std::int32_t selected() const { return selected_; }
 
   /// Switches the selection from the current gate to `i`; the old gate
   /// falls while the new one rises concurrently, so the array is "tuned"
@@ -79,7 +79,7 @@ class SoaArray {
   Time select(std::int32_t i);
 
   /// Worst-case switching time over all ordered gate pairs.
-  Time worst_case_switch() const;
+  [[nodiscard]] Time worst_case_switch() const;
 
  private:
   std::vector<SoaGate> gates_;

@@ -42,10 +42,10 @@ class AmplitudeCache {
 
   /// True if the cached gain for `sender` would still be within tolerance
   /// for a burst at `power`.
-  bool cache_valid(NodeId sender, optical::OpticalPower power) const;
+  [[nodiscard]] bool cache_valid(NodeId sender, optical::OpticalPower power) const;
 
-  std::int64_t fast_settles() const { return fast_; }
-  std::int64_t cold_settles() const { return cold_; }
+  [[nodiscard]] std::int64_t fast_settles() const { return fast_; }
+  [[nodiscard]] std::int64_t cold_settles() const { return cold_; }
 
  private:
   AmplitudeCacheConfig cfg_;

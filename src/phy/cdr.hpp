@@ -52,13 +52,13 @@ class PhaseCachingCdr {
 
   /// True if the cache entry for `sender` would still allow a fast lock at
   /// time `now`.
-  bool cache_fresh(NodeId sender, Time now) const;
+  [[nodiscard]] bool cache_fresh(NodeId sender, Time now) const;
 
   /// Phase drift (in UI) accumulated since the last burst from `sender`.
-  double phase_drift_ui(NodeId sender, Time now) const;
+  [[nodiscard]] double phase_drift_ui(NodeId sender, Time now) const;
 
-  std::int64_t fast_locks() const { return fast_locks_; }
-  std::int64_t cold_locks() const { return cold_locks_; }
+  [[nodiscard]] std::int64_t fast_locks() const { return fast_locks_; }
+  [[nodiscard]] std::int64_t cold_locks() const { return cold_locks_; }
 
  private:
   CdrConfig cfg_;

@@ -2,6 +2,28 @@
 
 namespace sirius::phy {
 
+SlotGeometry SlotGeometry::with_guardband_fraction(Time guardband,
+                                                   DataRate line_rate,
+                                                   double guard_fraction) {
+  assert(guard_fraction > 0.0 && guard_fraction < 1.0);
+  const double data_ps = static_cast<double>(guardband.picoseconds()) *
+                         (1.0 - guard_fraction) / guard_fraction;
+  const DataSize cell = line_rate.bytes_in(Time::ps(
+      static_cast<std::int64_t>(data_ps + 0.5)));
+  return SlotGeometry(cell, line_rate, guardband);
+}
+
+double SlotGeometry::guard_overhead() const {
+  return static_cast<double>(guardband_.picoseconds()) /
+         static_cast<double>(slot_duration().picoseconds());
+}
+
+DataRate SlotGeometry::effective_rate() const {
+  const double eff = static_cast<double>(line_rate_.bits_per_sec()) *
+                     (1.0 - guard_overhead());
+  return DataRate::bps(static_cast<std::int64_t>(eff + 0.5));
+}
+
 SlotGeometry default_slot_geometry() {
   using namespace sirius::literals;
   return SlotGeometry(DataSize::bytes(562), DataRate::gbps(50), 10_ns);

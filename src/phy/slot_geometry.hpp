@@ -24,50 +24,38 @@ class SlotGeometry {
         line_rate_(line_rate),
         guardband_(guardband),
         data_time_(line_rate.transmission_time(cell)) {
-    assert(cell.in_bytes() > 0);
+    assert(cell > DataSize::zero());
     assert(guardband >= Time::zero());
   }
 
   /// Builds the geometry the paper uses for a given guardband, keeping the
   /// guardband at 10 % of the total slot (as the Fig. 11 sweep does): the
   /// data portion is sized to 9x the guardband.
-  static SlotGeometry with_guardband_fraction(Time guardband,
-                                              DataRate line_rate,
-                                              double guard_fraction = 0.10) {
-    assert(guard_fraction > 0.0 && guard_fraction < 1.0);
-    const double data_ps = static_cast<double>(guardband.picoseconds()) *
-                           (1.0 - guard_fraction) / guard_fraction;
-    const DataSize cell = line_rate.bytes_in(Time::ps(
-        static_cast<std::int64_t>(data_ps + 0.5)));
-    return SlotGeometry(cell, line_rate, guardband);
-  }
+  [[nodiscard]] static SlotGeometry with_guardband_fraction(
+      Time guardband, DataRate line_rate, double guard_fraction = 0.10);
 
-  DataSize cell_size() const { return cell_; }
-  DataRate line_rate() const { return line_rate_; }
-  Time guardband() const { return guardband_; }
+  [[nodiscard]] DataSize cell_size() const { return cell_; }
+  [[nodiscard]] DataRate line_rate() const { return line_rate_; }
+  [[nodiscard]] Time guardband() const { return guardband_; }
   /// Time spent transmitting cell bytes.
-  Time data_time() const { return data_time_; }
+  [[nodiscard]] Time data_time() const { return data_time_; }
   /// Full slot duration = data + guardband.
-  Time slot_duration() const { return data_time_ + guardband_; }
+  [[nodiscard]] Time slot_duration() const { return data_time_ + guardband_; }
 
   /// Fraction of the slot lost to the guardband (switching overhead, §2.2).
-  double guard_overhead() const {
-    return static_cast<double>(guardband_.picoseconds()) /
-           static_cast<double>(slot_duration().picoseconds());
-  }
+  [[nodiscard]] double guard_overhead() const;
 
   /// Effective per-channel goodput after guardband overhead.
-  DataRate effective_rate() const {
-    const double eff =
-        static_cast<double>(line_rate_.bits_per_sec()) *
-        (1.0 - guard_overhead());
-    return DataRate::bps(static_cast<std::int64_t>(eff + 0.5));
-  }
+  [[nodiscard]] DataRate effective_rate() const;
 
   /// Index of the slot containing time `t` (slots start at t = 0).
-  std::int64_t slot_index(Time t) const { return t / slot_duration(); }
+  [[nodiscard]] std::int64_t slot_index(Time t) const {
+    return t / slot_duration();
+  }
   /// Start time of slot `i`.
-  Time slot_start(std::int64_t i) const { return slot_duration() * i; }
+  [[nodiscard]] Time slot_start(std::int64_t i) const {
+    return slot_duration() * i;
+  }
 
  private:
   DataSize cell_;

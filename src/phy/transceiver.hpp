@@ -25,7 +25,7 @@ struct GuardbandBudget {
   Time amplitude_cache;  ///< per-sender gain application
   Time sync_margin;      ///< absorbed time-sync inaccuracy
 
-  Time total() const {
+  [[nodiscard]] Time total() const {
     return laser_tuning + cdr_lock + equalization + amplitude_cache +
            sync_margin;
   }

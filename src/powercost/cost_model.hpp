@@ -36,39 +36,39 @@ class CostModel {
 
   const CostModelConfig& config() const { return cfg_; }
 
-  double switch_cost_per_tbps() const {
+  [[nodiscard]] double switch_cost_per_tbps() const {
     return cfg_.switch_cost / cfg_.switch_tbps;
   }
-  double transceiver_cost_per_tbps() const {
+  [[nodiscard]] double transceiver_cost_per_tbps() const {
     return cfg_.transceiver_cost_per_gbps * 1'000.0;
   }
 
   /// $/Tbps for a non-blocking folded-Clos ESN.
-  double esn_cost_per_tbps() const;
+  [[nodiscard]] double esn_cost_per_tbps() const;
 
   /// $/Tbps for an ESN with `oversub`:1 oversubscription above the ToR
   /// tier (the aggregation tier and up are thinned by the factor).
-  double esn_oversubscribed_cost_per_tbps(double oversub) const;
+  [[nodiscard]] double esn_oversubscribed_cost_per_tbps(double oversub) const;
 
   /// $/Tbps for Sirius with gratings costing `grating_cost_fraction` of an
   /// electrical switch and tunable lasers costing `laser_mult` x fixed.
-  double sirius_cost_per_tbps(double grating_cost_fraction,
+  [[nodiscard]] double sirius_cost_per_tbps(double grating_cost_fraction,
                               double laser_mult) const;
 
   /// $/Tbps for the electrically-switched Sirius variant: the flat Sirius
   /// topology and routing, but with the grating layer replaced by
   /// electrical switches plus the extra transceivers they require.
-  double electrical_sirius_cost_per_tbps() const;
+  [[nodiscard]] double electrical_sirius_cost_per_tbps() const;
 
   /// Fig. 6b, solid series: Sirius / non-blocking ESN.
-  double cost_ratio_nonblocking(double grating_cost_fraction,
+  [[nodiscard]] double cost_ratio_nonblocking(double grating_cost_fraction,
                                 double laser_mult) const {
     return sirius_cost_per_tbps(grating_cost_fraction, laser_mult) /
            esn_cost_per_tbps();
   }
 
   /// Fig. 6b, dashed series: Sirius / 3:1-oversubscribed ESN.
-  double cost_ratio_oversubscribed(double grating_cost_fraction,
+  [[nodiscard]] double cost_ratio_oversubscribed(double grating_cost_fraction,
                                    double laser_mult,
                                    double oversub = 3.0) const {
     return sirius_cost_per_tbps(grating_cost_fraction, laser_mult) /
@@ -76,7 +76,7 @@ class CostModel {
   }
 
  private:
-  double tunable_transceiver_cost_per_tbps(double laser_mult) const;
+  [[nodiscard]] double tunable_transceiver_cost_per_tbps(double laser_mult) const;
 
   CostModelConfig cfg_;
 };

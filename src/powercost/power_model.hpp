@@ -37,16 +37,16 @@ class PowerModel {
 
   const PowerModelConfig& config() const { return cfg_; }
 
-  double switch_watts_per_tbps() const {
+  [[nodiscard]] double switch_watts_per_tbps() const {
     return cfg_.switch_watts / cfg_.switch_tbps;
   }
-  double transceiver_watts_per_tbps() const {
+  [[nodiscard]] double transceiver_watts_per_tbps() const {
     return cfg_.transceiver_watts / cfg_.transceiver_tbps;
   }
 
   /// Fig. 2a: W/Tbps of bisection bandwidth for an electrically-switched
   /// folded Clos with `tiers` switch tiers (0 = direct fiber).
-  double esn_power_per_tbps(std::int32_t tiers) const;
+  [[nodiscard]] double esn_power_per_tbps(std::int32_t tiers) const;
 
   /// Switch tiers needed for `endpoints` endpoints at `radix` ports per
   /// switch — the x-axis mapping of Fig. 2a (2 -> 0, 64 -> 1, 2K -> 2,
@@ -56,10 +56,10 @@ class PowerModel {
 
   /// W/Tbps for Sirius when the tunable laser consumes `tunable_ratio` x
   /// the power of a fixed laser (Fig. 6a x-axis).
-  double sirius_power_per_tbps(double tunable_ratio) const;
+  [[nodiscard]] double sirius_power_per_tbps(double tunable_ratio) const;
 
   /// Fig. 6a: Sirius power / non-blocking-ESN power.
-  double power_ratio(double tunable_ratio) const {
+  [[nodiscard]] double power_ratio(double tunable_ratio) const {
     return sirius_power_per_tbps(tunable_ratio) /
            esn_power_per_tbps(cfg_.esn_tiers);
   }
@@ -69,7 +69,7 @@ class PowerModel {
   /// an ESN that scales bandwidth by adding hierarchy pays the next tier's
   /// scale tax. Returns Sirius-planes power / ESN power when both deliver
   /// `bandwidth_multiple` x today's per-node bandwidth.
-  double parallel_planes_ratio(double tunable_ratio,
+  [[nodiscard]] double parallel_planes_ratio(double tunable_ratio,
                                double bandwidth_multiple) const;
 
  private:

@@ -39,7 +39,7 @@ class DemandScheduler {
  public:
   explicit DemandScheduler(std::int32_t nodes, std::uint64_t seed = 1);
 
-  std::int32_t nodes() const { return nodes_; }
+  [[nodiscard]] std::int32_t nodes() const { return nodes_; }
 
   /// One slot's matching over the residual demand (request -> grant ->
   /// accept rounds until maximal or `max_iterations`). Mutates `demand`

@@ -37,21 +37,21 @@ class CyclicSchedule {
   CyclicSchedule(std::vector<NodeId> members, std::int32_t uplinks);
 
   /// Number of *participating* nodes (= member count).
-  std::int32_t nodes() const { return members_ ? member_count_ : nodes_; }
-  std::int32_t uplinks() const { return uplinks_; }
-  bool is_member(NodeId n) const;
+  [[nodiscard]] std::int32_t nodes() const { return members_ ? member_count_ : nodes_; }
+  [[nodiscard]] std::int32_t uplinks() const { return uplinks_; }
+  [[nodiscard]] bool is_member(NodeId n) const;
 
   /// Slots per round; one round connects each ordered pair exactly once.
-  std::int32_t slots_per_round() const { return slots_per_round_; }
+  [[nodiscard]] std::int32_t slots_per_round() const { return slots_per_round_; }
 
   /// Destination of node `src` on uplink `u` at global slot `t`, or
   /// kInvalidNode if that uplink is idle in this slot (padding when
   /// (N-1) is not a multiple of U).
-  NodeId peer_tx(NodeId src, UplinkId u, std::int64_t t) const;
+  [[nodiscard]] NodeId peer_tx(NodeId src, UplinkId u, std::int64_t t) const;
 
   /// Source heard by node `dst` on downlink `u` at slot `t`, or
   /// kInvalidNode when idle.
-  NodeId peer_rx(NodeId dst, UplinkId u, std::int64_t t) const;
+  [[nodiscard]] NodeId peer_rx(NodeId dst, UplinkId u, std::int64_t t) const;
 
   /// The (slot-in-round, uplink) at which `src` talks to `dst`. Each
   /// ordered pair occurs exactly once per round.
@@ -62,16 +62,16 @@ class CyclicSchedule {
   Connection connection(NodeId src, NodeId dst) const;
 
   /// Round index containing global slot `t`.
-  std::int64_t round_of(std::int64_t t) const { return t / slots_per_round_; }
+  [[nodiscard]] std::int64_t round_of(std::int64_t t) const { return t / slots_per_round_; }
   /// First global slot of round `r`.
-  std::int64_t round_start(std::int64_t r) const {
+  [[nodiscard]] std::int64_t round_start(std::int64_t r) const {
     return r * slots_per_round_;
   }
 
  private:
-  std::int32_t offset_of(UplinkId u, std::int64_t t) const;
-  std::int32_t index_of(NodeId n) const;  // member index, -1 if not member
-  NodeId node_at(std::int32_t index) const;
+  [[nodiscard]] std::int32_t offset_of(UplinkId u, std::int64_t t) const;
+  [[nodiscard]] std::int32_t index_of(NodeId n) const;  // member index, -1 if not member
+  [[nodiscard]] NodeId node_at(std::int32_t index) const;
 
   std::int32_t nodes_;
   std::int32_t uplinks_;

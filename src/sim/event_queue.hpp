@@ -28,9 +28,9 @@ class EventQueue {
   /// Schedules `h` at now() + delay.
   void schedule_in(Time delay, Handler h) { schedule_at(now_ + delay, h); }
 
-  Time now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
   /// Runs the next event; returns false if none remain. Time never moves
   /// backwards (audited).

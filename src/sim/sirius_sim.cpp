@@ -139,7 +139,7 @@ void SiriusSim::deliver(const node::Cell& cell, Time now) {
   rx.reorder.on_arrival(cell.seq, cell.payload_bytes);
   if (rx.reorder.complete() && rx.completion.is_infinite()) {
     rx.completion = delivered_at;
-    reorder_peaks_.observe_peak(rx.reorder.peak_buffered_bytes());
+    reorder_peaks_.observe_peak(rx.reorder.peak_buffered());
     finish_flow(cell.flow, delivered_at);
   }
 }
@@ -329,10 +329,9 @@ SiriusSimResult SiriusSim::run() {
   r.goodput_normalized = goodput_.normalized(measure_end_);
   for (const auto& n : nodes_) {
     r.worst_node_queue_peak_kb =
-        std::max(r.worst_node_queue_peak_kb,
-                 static_cast<double>(n.peak_queue_bytes()) * 1e-3);
+        std::max(r.worst_node_queue_peak_kb, n.peak_queue().in_kb());
   }
-  r.worst_reorder_peak_kb = reorder_peaks_.worst_peak_kb();
+  r.worst_reorder_peak_kb = reorder_peaks_.worst_peak().in_kb();
   r.slots_simulated = slot;
   r.cells_delivered = cells_delivered_;
   r.incomplete_flows = flows_remaining_;

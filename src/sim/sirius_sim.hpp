@@ -86,13 +86,13 @@ struct SiriusSimConfig {
   /// injection (counted in SiriusSimResult::rejected_flows).
   std::vector<NodeId> failed_racks;
 
-  std::int32_t servers() const { return racks * servers_per_rack; }
-  std::int32_t uplinks() const {
+  [[nodiscard]] std::int32_t servers() const { return racks * servers_per_rack; }
+  [[nodiscard]] std::int32_t uplinks() const {
     return static_cast<std::int32_t>(base_uplinks * uplink_multiplier + 0.5);
   }
   /// Provisioned per-server bandwidth (goodput normalisation): the rack's
   /// base uplink capacity divided among its servers.
-  DataRate server_share() const {
+  [[nodiscard]] DataRate server_share() const {
     return (slots.line_rate() * base_uplinks) / servers_per_rack;
   }
 };
@@ -144,7 +144,7 @@ class SiriusSim {
     NodeId to;
   };
 
-  NodeId rack_of(std::int32_t server) const {
+  [[nodiscard]] NodeId rack_of(std::int32_t server) const {
     return server / cfg_.servers_per_rack;
   }
 

@@ -32,7 +32,7 @@ class FctTracker {
   /// Records a completed flow of `size` with completion latency `fct`.
   void record(DataSize size, Time fct);
 
-  std::int64_t completed() const { return completed_; }
+  [[nodiscard]] std::int64_t completed() const { return completed_; }
 
   FctSummary summarize();
 

@@ -1,3 +1,14 @@
 #include "stats/goodput.hpp"
 
-// Header-only; this TU anchors the library.
+namespace sirius::stats {
+
+double GoodputMeter::normalized(Time horizon) const {
+  if (horizon <= Time::zero()) return 0.0;
+  const double bits = static_cast<double>(delivered_.in_bits());
+  const double capacity =
+      static_cast<double>(server_rate_.bits_per_sec()) * servers_ *
+      horizon.to_sec();
+  return bits / capacity;
+}
+
+}  // namespace sirius::stats

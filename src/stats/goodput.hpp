@@ -17,18 +17,11 @@ class GoodputMeter {
 
   void deliver(DataSize bytes) { delivered_ += bytes; }
 
-  DataSize delivered() const { return delivered_; }
+  [[nodiscard]] DataSize delivered() const { return delivered_; }
 
   /// Goodput over [0, horizon], normalised by N * R (1.0 = every server
   /// receiving at line rate for the whole window).
-  double normalized(Time horizon) const {
-    if (horizon <= Time::zero()) return 0.0;
-    const double bits = static_cast<double>(delivered_.in_bits());
-    const double capacity =
-        static_cast<double>(server_rate_.bits_per_sec()) * servers_ *
-        horizon.to_sec();
-    return bits / capacity;
-  }
+  [[nodiscard]] double normalized(Time horizon) const;
 
  private:
   std::int32_t servers_;

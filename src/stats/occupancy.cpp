@@ -1,3 +1,11 @@
 #include "stats/occupancy.hpp"
 
-// Header-only; this TU anchors the library.
+namespace sirius::stats {
+
+double OccupancyAggregator::mean_peak_bytes() const {
+  if (entities_ == 0) return 0.0;
+  return static_cast<double>(sum_peaks_.in_bytes()) /
+         static_cast<double>(entities_);
+}
+
+}  // namespace sirius::stats

@@ -2,6 +2,7 @@
 // per node and peak per-flow reorder-buffer bytes at receivers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/histogram.hpp"
@@ -9,45 +10,38 @@
 
 namespace sirius::stats {
 
-/// Tracks a single gauge in bytes with peak.
+/// Tracks a single byte-counted gauge with its sticky peak.
 class ByteGauge {
  public:
   void add(DataSize d) {
-    current_ += d.in_bytes();
+    current_ += d;
     peak_ = std::max(peak_, current_);
   }
-  void remove(DataSize d) { current_ -= d.in_bytes(); }
+  void remove(DataSize d) { current_ -= d; }
 
-  std::int64_t current_bytes() const { return current_; }
-  std::int64_t peak_bytes() const { return peak_; }
-  double peak_kb() const { return static_cast<double>(peak_) * 1e-3; }
+  [[nodiscard]] DataSize current() const { return current_; }
+  [[nodiscard]] DataSize peak() const { return peak_; }
 
  private:
-  std::int64_t current_ = 0;
-  std::int64_t peak_ = 0;
+  DataSize current_;
+  DataSize peak_;
 };
 
-/// Aggregates per-entity gauges into a fleet-wide worst case.
+/// Aggregates per-entity gauge peaks into a fleet-wide worst case.
 class OccupancyAggregator {
  public:
-  void observe_peak(std::int64_t peak_bytes) {
-    worst_peak_ = std::max(worst_peak_, peak_bytes);
-    sum_peaks_ += peak_bytes;
+  void observe_peak(DataSize peak) {
+    worst_peak_ = std::max(worst_peak_, peak);
+    sum_peaks_ += peak;
     ++entities_;
   }
-  std::int64_t worst_peak_bytes() const { return worst_peak_; }
-  double worst_peak_kb() const {
-    return static_cast<double>(worst_peak_) * 1e-3;
-  }
-  double mean_peak_bytes() const {
-    return entities_ ? static_cast<double>(sum_peaks_) /
-                           static_cast<double>(entities_)
-                     : 0.0;
-  }
+  [[nodiscard]] DataSize worst_peak() const { return worst_peak_; }
+  /// Mean of the observed per-entity peaks, in bytes.
+  [[nodiscard]] double mean_peak_bytes() const;
 
  private:
-  std::int64_t worst_peak_ = 0;
-  std::int64_t sum_peaks_ = 0;
+  DataSize worst_peak_;
+  DataSize sum_peaks_;
   std::int64_t entities_ = 0;
 };
 

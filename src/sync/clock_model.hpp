@@ -34,16 +34,19 @@ class LocalClock {
   void advance(Time dt, Rng& rng);
 
   /// Phase offset of this clock versus true time, in picoseconds.
-  double phase_offset_ps() const { return phase_ps_; }
+  [[nodiscard]] double phase_offset_ps() const { return phase_ps_; }
   /// Current fractional frequency error (dimensionless, e.g. 20e-6).
-  double freq_error() const { return freq_error_; }
+  [[nodiscard]] double freq_error() const { return freq_error_; }
 
   /// Slews the frequency by `delta` (dimensionless), as a PLL/DLL would.
   /// The correction is clamped to +/- `max_step` to filter byzantine or
   /// glitched measurements (§4.4's DLL frequency filter).
   void apply_frequency_correction(double delta, double max_step);
 
-  /// Steps the phase directly (initial offset calibration).
+  /// Steps the phase directly (initial offset calibration). The phase is a
+  /// *fractional* picosecond quantity (sync converges to +/-5 ps with
+  /// ~2 ps measurement noise), so integer Time would round away the signal.
+  /// sirius-lint: allow(raw-unit-param)
   void apply_phase_correction(double delta_ps) { phase_ps_ -= delta_ps; }
 
  private:

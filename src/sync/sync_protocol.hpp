@@ -61,7 +61,7 @@ class SyncProtocolSim {
   SyncRunResult run(std::int64_t epochs, std::int64_t warmup_epochs);
 
  private:
-  std::int32_t next_alive_leader(std::int32_t from) const;
+  [[nodiscard]] std::int32_t next_alive_leader(std::int32_t from) const;
 
   SyncProtocolConfig cfg_;
   Rng rng_;

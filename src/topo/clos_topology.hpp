@@ -28,7 +28,7 @@ class ClosTopology {
   explicit ClosTopology(ClosConfig cfg);
 
   const ClosConfig& config() const { return cfg_; }
-  std::int32_t servers() const { return cfg_.racks * cfg_.servers_per_rack; }
+  [[nodiscard]] std::int32_t servers() const { return cfg_.racks * cfg_.servers_per_rack; }
 
   /// Number of switch tiers needed to connect `endpoints` endpoints with
   /// switches of radix `radix` in a non-blocking folded Clos: tier t
@@ -38,25 +38,25 @@ class ClosTopology {
                                    std::int32_t radix);
 
   /// Tiers of this instance.
-  std::int32_t tiers() const { return tiers_; }
+  [[nodiscard]] std::int32_t tiers() const { return tiers_; }
 
   /// Total switch count across all tiers (non-blocking folded Clos; the
   /// oversubscribed variant thins the above-ToR tiers by the factor).
-  std::int64_t switch_count() const;
+  [[nodiscard]] std::int64_t switch_count() const;
 
   /// Transceiver count: two per inter-switch link plus one per server port
   /// at the ToR (server-side optics).
-  std::int64_t transceiver_count() const;
+  [[nodiscard]] std::int64_t transceiver_count() const;
 
   /// Aggregate capacity leaving a rack towards the core.
-  DataRate rack_uplink_capacity() const {
+  [[nodiscard]] DataRate rack_uplink_capacity() const {
     const DataRate full = cfg_.server_link * cfg_.servers_per_rack;
     return full / cfg_.oversubscription;
   }
 
   /// Full-bisection bandwidth of the fabric (servers x link / 2 when
   /// non-blocking, reduced by oversubscription otherwise).
-  DataRate bisection_bandwidth() const;
+  [[nodiscard]] DataRate bisection_bandwidth() const;
 
  private:
   ClosConfig cfg_;

@@ -24,24 +24,24 @@ class ExpanderGraph {
   ExpanderGraph(std::int32_t switches, std::int32_t degree,
                 std::uint64_t seed);
 
-  std::int32_t switches() const { return n_; }
-  std::int32_t degree() const { return d_; }
+  [[nodiscard]] std::int32_t switches() const { return n_; }
+  [[nodiscard]] std::int32_t degree() const { return d_; }
   const std::vector<NodeId>& neighbors(NodeId v) const {
     return adj_[static_cast<std::size_t>(v)];
   }
 
-  bool connected() const;
+  [[nodiscard]] bool connected() const;
 
   /// Average shortest-path length over all ordered pairs (BFS).
-  double average_path_length() const;
+  [[nodiscard]] double average_path_length() const;
   /// Graph diameter.
-  std::int32_t diameter() const;
+  [[nodiscard]] std::int32_t diameter() const;
 
   /// Upper bound on uniform throughput per switch-port pair: total link
   /// capacity divided by the capacity consumed per delivered byte
   /// (= average path length). Normalised so 1.0 means every edge busy
   /// carrying useful traffic with no detours.
-  double uniform_throughput_bound() const {
+  [[nodiscard]] double uniform_throughput_bound() const {
     return 1.0 / average_path_length();
   }
 

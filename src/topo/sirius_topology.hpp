@@ -39,17 +39,17 @@ class SiriusTopology {
   explicit SiriusTopology(SiriusTopologyConfig cfg);
 
   const SiriusTopologyConfig& config() const { return cfg_; }
-  std::int32_t nodes() const { return cfg_.nodes; }
-  std::int32_t blocks() const { return blocks_; }
+  [[nodiscard]] std::int32_t nodes() const { return cfg_.nodes; }
+  [[nodiscard]] std::int32_t blocks() const { return blocks_; }
   /// Uplinks per node = blocks * replicas.
-  std::int32_t uplinks_per_node() const { return blocks_ * cfg_.replicas; }
-  std::int32_t gratings() const {
+  [[nodiscard]] std::int32_t uplinks_per_node() const { return blocks_ * cfg_.replicas; }
+  [[nodiscard]] std::int32_t gratings() const {
     return blocks_ * blocks_ * cfg_.replicas;
   }
   const optical::Awgr& awgr() const { return awgr_; }
 
-  std::int32_t block_of(NodeId n) const { return n / cfg_.grating_ports; }
-  std::int32_t index_in_block(NodeId n) const { return n % cfg_.grating_ports; }
+  [[nodiscard]] std::int32_t block_of(NodeId n) const { return n / cfg_.grating_ports; }
+  [[nodiscard]] std::int32_t index_in_block(NodeId n) const { return n % cfg_.grating_ports; }
 
   /// Grating + input port where uplink `u` of node `n` attaches.
   UplinkAttachment tx_attachment(NodeId n, UplinkId u) const;
@@ -62,14 +62,14 @@ class SiriusTopology {
 
   /// Wavelength `src` must use on uplink `u` so its light exits at `dst`.
   /// Requires that uplink `u` serves dst's block.
-  WavelengthId wavelength_to(NodeId src, UplinkId u, NodeId dst) const;
+  [[nodiscard]] WavelengthId wavelength_to(NodeId src, UplinkId u, NodeId dst) const;
 
   /// Destination node reached from `src` on uplink `u` at wavelength `w`
   /// (kInvalidNode if the output port is unpopulated, i.e. padding).
-  NodeId destination_of(NodeId src, UplinkId u, WavelengthId w) const;
+  [[nodiscard]] NodeId destination_of(NodeId src, UplinkId u, WavelengthId w) const;
 
   /// Aggregate bidirectional uplink bandwidth per node.
-  DataRate node_uplink_bandwidth() const {
+  [[nodiscard]] DataRate node_uplink_bandwidth() const {
     return cfg_.channel_rate * uplinks_per_node();
   }
 

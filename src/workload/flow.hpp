@@ -27,13 +27,13 @@ struct Workload {
   double offered_load = 0.0;     ///< the L of §7
   DataSize mean_flow_size;
 
-  DataSize total_bytes() const {
+  [[nodiscard]] DataSize total_bytes() const {
     DataSize sum;
     for (const auto& f : flows) sum += f.size;
     return sum;
   }
   /// Time of the last flow arrival.
-  Time last_arrival() const {
+  [[nodiscard]] Time last_arrival() const {
     return flows.empty() ? Time::zero() : flows.back().arrival;
   }
 };

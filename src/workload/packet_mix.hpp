@@ -36,10 +36,10 @@ class PacketMix {
   explicit PacketMix(std::vector<PacketSizeBand> bands);
 
   /// Samples one packet size (uniform within the chosen band).
-  DataSize sample(Rng& rng) const;
+  [[nodiscard]] DataSize sample(Rng& rng) const;
 
   /// Fraction of packets at or below `s`.
-  double fraction_at_or_below(DataSize s) const;
+  [[nodiscard]] double fraction_at_or_below(DataSize s) const;
 
   const std::vector<PacketSizeBand>& bands() const { return bands_; }
 

@@ -1,0 +1,57 @@
+# CTest driver for one sirius-lint fixture. Invoked as:
+#
+#   cmake -DLINT=<sirius_lint exe> -DFIXTURE=<file> -DEXPECT_RULE=<id|none>
+#         [-DEXPECT_COUNT=<n>] [-DFLAGS=<;-list of extra flags>]
+#         [-DJSON=<report path>] -P run_lint_fixture.cmake
+#
+# Asserts, via the machine-readable JSON report, that the linter found
+# exactly EXPECT_COUNT violations (default 1) and that every one of them is
+# of rule EXPECT_RULE — i.e. a fixture seeded with one violation trips its
+# rule once and trips nothing else. EXPECT_RULE=none asserts a clean pass.
+if(NOT DEFINED EXPECT_COUNT)
+  set(EXPECT_COUNT 1)
+endif()
+if(EXPECT_RULE STREQUAL "none")
+  set(EXPECT_COUNT 0)
+endif()
+if(NOT DEFINED JSON)
+  set(JSON "${FIXTURE}.report.json")
+endif()
+
+execute_process(
+  COMMAND ${LINT} ${FLAGS} --json ${JSON} ${FIXTURE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+file(READ ${JSON} report)
+string(JSON total GET "${report}" violation_count)
+
+if(EXPECT_COUNT EQUAL 0)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "expected a clean pass, got exit ${rc}:\n${out}${err}")
+  endif()
+else()
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "expected exit 1 (violations found), got ${rc}:\n${out}${err}")
+  endif()
+endif()
+
+if(NOT total EQUAL EXPECT_COUNT)
+  message(FATAL_ERROR
+    "expected ${EXPECT_COUNT} violation(s), report says ${total}:\n${out}")
+endif()
+
+# Every reported violation must carry the expected rule id.
+math(EXPR last "${total} - 1")
+if(total GREATER 0)
+  foreach(i RANGE ${last})
+    string(JSON rule GET "${report}" violations ${i} rule)
+    if(NOT rule STREQUAL EXPECT_RULE)
+      message(FATAL_ERROR
+        "violation ${i} has rule '${rule}', expected '${EXPECT_RULE}':\n${out}")
+    endif()
+  endforeach()
+endif()

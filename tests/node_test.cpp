@@ -140,14 +140,14 @@ TEST(Node, QueueGaugesTrackVqAndFq) {
   c.payload_bytes = 100;
   n.push_vq(2, c);
   n.push_fq(3, c);
-  EXPECT_EQ(n.current_queue_bytes(), 2 * 562);
-  EXPECT_EQ(n.peak_queue_bytes(), 2 * 562);
+  EXPECT_EQ(n.current_queue(), DataSize::bytes(2 * 562));
+  EXPECT_EQ(n.peak_queue(), DataSize::bytes(2 * 562));
   EXPECT_TRUE(n.pop_vq(2).has_value());
   EXPECT_FALSE(n.pop_vq(2).has_value());
   EXPECT_EQ(n.fq_depth(3), 1);
   EXPECT_TRUE(n.pop_fq(3).has_value());
-  EXPECT_EQ(n.current_queue_bytes(), 0);
-  EXPECT_EQ(n.peak_queue_bytes(), 2 * 562);  // peak is sticky
+  EXPECT_EQ(n.current_queue(), DataSize::zero());
+  EXPECT_EQ(n.peak_queue(), DataSize::bytes(2 * 562));  // peak is sticky
 }
 
 TEST(ReorderBuffer, InOrderPassthrough) {
@@ -156,7 +156,7 @@ TEST(ReorderBuffer, InOrderPassthrough) {
   EXPECT_EQ(rb.on_arrival(1, 562), 1);
   EXPECT_EQ(rb.on_arrival(2, 100), 1);
   EXPECT_TRUE(rb.complete());
-  EXPECT_EQ(rb.peak_buffered_bytes(), 0);
+  EXPECT_EQ(rb.peak_buffered(), DataSize::zero());
 }
 
 TEST(ReorderBuffer, OutOfOrderBuffersAndReleases) {
@@ -164,7 +164,7 @@ TEST(ReorderBuffer, OutOfOrderBuffersAndReleases) {
   EXPECT_EQ(rb.on_arrival(2, 562), 0);
   EXPECT_EQ(rb.on_arrival(1, 562), 0);
   EXPECT_EQ(rb.buffered_cells(), 2);
-  EXPECT_EQ(rb.peak_buffered_bytes(), 2 * 562);
+  EXPECT_EQ(rb.peak_buffered(), DataSize::bytes(2 * 562));
   // Seq 0 releases 0,1,2 at once.
   EXPECT_EQ(rb.on_arrival(0, 562), 3);
   EXPECT_EQ(rb.buffered_cells(), 0);
@@ -184,10 +184,10 @@ TEST(ReorderBuffer, DuplicatesIgnored) {
 TEST(ReorderBuffer, PeakSurvivesRelease) {
   ReorderBuffer rb(10);
   for (std::int32_t s = 9; s >= 1; --s) rb.on_arrival(s, 562);
-  EXPECT_EQ(rb.peak_buffered_bytes(), 9 * 562);
+  EXPECT_EQ(rb.peak_buffered(), DataSize::bytes(9 * 562));
   rb.on_arrival(0, 562);
   EXPECT_TRUE(rb.complete());
-  EXPECT_EQ(rb.peak_buffered_bytes(), 9 * 562);
+  EXPECT_EQ(rb.peak_buffered(), DataSize::bytes(9 * 562));
 }
 
 }  // namespace

@@ -61,18 +61,18 @@ TEST(ByteGauge, PeakIsSticky) {
   g.add(DataSize::bytes(562));
   g.remove(DataSize::bytes(562));
   g.add(DataSize::bytes(100));
-  EXPECT_EQ(g.current_bytes(), 662);
-  EXPECT_EQ(g.peak_bytes(), 1'124);
-  EXPECT_NEAR(g.peak_kb(), 1.124, 1e-9);
+  EXPECT_EQ(g.current(), DataSize::bytes(662));
+  EXPECT_EQ(g.peak(), DataSize::bytes(1'124));
+  EXPECT_NEAR(g.peak().in_kb(), 1.124, 1e-9);
 }
 
 TEST(OccupancyAggregator, WorstAcrossEntities) {
   OccupancyAggregator a;
-  a.observe_peak(1'000);
-  a.observe_peak(78'200);  // the paper's worst case, in bytes
-  a.observe_peak(50'000);
-  EXPECT_EQ(a.worst_peak_bytes(), 78'200);
-  EXPECT_NEAR(a.worst_peak_kb(), 78.2, 1e-9);
+  a.observe_peak(DataSize::bytes(1'000));
+  a.observe_peak(DataSize::bytes(78'200));  // the paper's worst case
+  a.observe_peak(DataSize::bytes(50'000));
+  EXPECT_EQ(a.worst_peak(), DataSize::bytes(78'200));
+  EXPECT_NEAR(a.worst_peak().in_kb(), 78.2, 1e-9);
   EXPECT_NEAR(a.mean_peak_bytes(), (1'000 + 78'200 + 50'000) / 3.0, 1e-6);
 }
 

@@ -1,0 +1,137 @@
+// CLI driver for sirius-lint. See linter.hpp for the rule set and
+// docs/ARCHITECTURE.md ("Static analysis & determinism contract") for the
+// rationale behind each rule.
+//
+// Usage:
+//   sirius_lint [options] <file-or-dir>...
+//
+// Directories are walked recursively for C++ sources (.hpp/.h/.hh and
+// .cpp/.cc/.cxx); files given explicitly are always scanned, whatever their
+// extension (that is how the fixture tests feed it .cpp.in files).
+//
+// Options:
+//   --json <path>     also write a machine-readable JSON report
+//   --treat-as-src    classify every explicit file as src/ library code
+//   --as-header       classify every explicit file as a header
+//   --list-rules      print the rule table and exit
+//   --quiet           suppress per-violation lines (summary only)
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace fs = std::filesystem;
+using sirius::lint::FileKind;
+using sirius::lint::Violation;
+
+namespace {
+
+bool has_cxx_extension(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".hh" || e == ".cpp" ||
+         e == ".cc" || e == ".cxx";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool treat_as_src = false;
+  bool as_header = false;
+  bool quiet = false;
+  std::vector<fs::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (++i >= argc) {
+        std::cerr << "sirius_lint: --json needs a path\n";
+        return 2;
+      }
+      json_path = argv[i];
+    } else if (arg == "--treat-as-src") {
+      treat_as_src = true;
+    } else if (arg == "--as-header") {
+      as_header = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : sirius::lint::rules()) {
+        std::cout << r.id << ": " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: sirius_lint [--json <path>] [--treat-as-src] "
+                   "[--as-header] [--quiet] [--list-rules] <path>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "sirius_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "sirius_lint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  // Collect (path, kind) work items. Explicit files honour the override
+  // flags; walked files are classified purely by path.
+  std::vector<std::pair<fs::path, FileKind>> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) && has_cxx_extension(it->path())) {
+          files.emplace_back(it->path(), sirius::lint::classify(it->path()));
+        }
+      }
+      if (ec) {
+        std::cerr << "sirius_lint: error walking " << root << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+    } else if (fs::exists(root, ec)) {
+      FileKind kind = sirius::lint::classify(root);
+      if (treat_as_src) kind.is_src = true;
+      if (as_header) kind.is_header = true;
+      files.emplace_back(root, kind);
+    } else {
+      std::cerr << "sirius_lint: no such path: " << root << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Violation> all;
+  for (const auto& [path, kind] : files) {
+    auto vs = sirius::lint::lint_file(path, kind);
+    all.insert(all.end(), vs.begin(), vs.end());
+  }
+
+  if (!quiet) {
+    for (const Violation& v : all) {
+      std::cout << v.file << ":" << v.line << ": error: [" << v.rule << "] "
+                << v.message << "\n";
+    }
+  }
+  std::cout << "sirius_lint: " << files.size() << " files, " << all.size()
+            << " violation" << (all.size() == 1 ? "" : "s") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "sirius_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << sirius::lint::to_json(all, static_cast<int>(files.size()));
+  }
+  return all.empty() ? 0 : 1;
+}
