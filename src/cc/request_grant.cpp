@@ -40,7 +40,8 @@ void RequestGrantNode::pool_remove(NodeId n) {
 
 std::vector<RequestGrantNode::OutgoingRequest> RequestGrantNode::build_requests(
     const std::vector<NodeId>& pending, std::int64_t epoch, Rng& rng,
-    const std::function<bool(NodeId)>& usable) {
+    const std::function<bool(NodeId)>& usable,
+    const std::function<bool(NodeId, NodeId)>& relay_ok) {
   std::vector<OutgoingRequest> out;
   if (pending.empty()) return out;
 
@@ -68,12 +69,24 @@ std::vector<RequestGrantNode::OutgoingRequest> RequestGrantNode::build_requests(
       // fall back to a random unused intermediate below.
       const auto cand = static_cast<NodeId>(
           (static_cast<std::int64_t>(dst) + self_ + epoch) % cfg_.nodes);
-      if (cand != self_ && pool_pos_[static_cast<std::size_t>(cand)] >= 0) {
+      if (cand != self_ && pool_pos_[static_cast<std::size_t>(cand)] >= 0 &&
+          (!relay_ok || relay_ok(cand, dst))) {
         pick = cand;
       }
     }
     if (pick == kInvalidNode) {
-      pick = intermediate_pool_[rng.below(intermediate_pool_.size())];
+      // Rejection-sample a random unused intermediate; without a relay_ok
+      // veto this is a single draw (the pre-veto behaviour). A cell whose
+      // draws are all vetoed re-requests next epoch.
+      for (std::int32_t attempt = 0; attempt < 4; ++attempt) {
+        const NodeId cand =
+            intermediate_pool_[rng.below(intermediate_pool_.size())];
+        if (!relay_ok || relay_ok(cand, dst)) {
+          pick = cand;
+          break;
+        }
+      }
+      if (pick == kInvalidNode) continue;
     }
     pool_remove(pick);
     out.push_back(OutgoingRequest{pick, dst});

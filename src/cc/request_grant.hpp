@@ -24,6 +24,7 @@
 // the message lists between nodes and owns the actual cell queues.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -102,6 +103,13 @@ class RequestGrantNode {
     shuffle_inbox(rng);
     std::vector<Grant> grants;
     for (const Request& r : inbox_) {
+      // Never grant towards, or to, a node this intermediate believes dead
+      // (§4.5): the cell would blackhole on arrival. Stale requests from a
+      // source excluded after it asked are dropped the same way.
+      if (excluded_[static_cast<std::size_t>(r.dst)] != 0 ||
+          excluded_[static_cast<std::size_t>(r.src)] != 0) {
+        continue;
+      }
       if (picked_this_epoch_[static_cast<std::size_t>(r.dst)]) continue;
       picked_this_epoch_[static_cast<std::size_t>(r.dst)] = true;
       auto& out = outstanding_[static_cast<std::size_t>(r.dst)];
@@ -146,12 +154,40 @@ class RequestGrantNode {
 
   /// Marks `node` as failed: it is never chosen as an intermediate again
   /// (§4.5: detected failures are communicated datacenter-wide to prevent
-  /// blackholing through the failed relay).
+  /// blackholing through the failed relay). Out-of-range ids are an
+  /// invariant violation and are ignored on the defensive path.
   void exclude(NodeId node) {
+    SIRIUS_INVARIANT(node >= 0 && node < cfg_.nodes,
+                     "node %d: exclude of node %d outside the %d-node network",
+                     self_, node, cfg_.nodes);
+    if (node < 0 || node >= cfg_.nodes) return;
     excluded_[static_cast<std::size_t>(node)] = 1;
   }
+  /// Re-admits a previously excluded node (§4.5 recovery: the control
+  /// plane re-provisions a repaired rack at a round boundary).
+  void include(NodeId node) {
+    SIRIUS_INVARIANT(node >= 0 && node < cfg_.nodes,
+                     "node %d: include of node %d outside the %d-node network",
+                     self_, node, cfg_.nodes);
+    if (node < 0 || node >= cfg_.nodes) return;
+    excluded_[static_cast<std::size_t>(node)] = 0;
+  }
   [[nodiscard]] bool is_excluded(NodeId node) const {
+    SIRIUS_INVARIANT(node >= 0 && node < cfg_.nodes,
+                     "node %d: is_excluded of node %d outside the %d-node "
+                     "network",
+                     self_, node, cfg_.nodes);
+    if (node < 0 || node >= cfg_.nodes) return false;
     return excluded_[static_cast<std::size_t>(node)] != 0;
+  }
+
+  /// Drops all epoch-local protocol state — buffered requests and
+  /// outstanding-grant counters — without touching exclusions or stats.
+  /// Used when this node itself fail-stops: a rebooted rack must not
+  /// inherit grant accounting from before the crash.
+  void clear_protocol_state() {
+    inbox_.clear();
+    std::fill(outstanding_.begin(), outstanding_.end(), 0);
   }
 
   [[nodiscard]] std::int32_t outstanding(NodeId dst) const {
@@ -181,10 +217,16 @@ class RequestGrantNode {
   /// (the "direct" path). `usable`, when provided, vetoes intermediates
   /// the source cannot serve soon (e.g. a backed-up virtual queue): the
   /// source knows its own queues, so this costs nothing in hardware and
-  /// keeps granted-but-unsent backlog bounded.
+  /// keeps granted-but-unsent backlog bounded. `relay_ok(intermediate,
+  /// dst)`, when provided, vetoes a specific (relay, destination) pair at
+  /// pick time — the §4.5 membership view uses it to stop requesting a
+  /// relay whose link *towards dst* is reported grey, without evicting the
+  /// relay for the destinations it still serves. A cell whose random picks
+  /// are all vetoed simply re-requests next epoch.
   std::vector<OutgoingRequest> build_requests(
       const std::vector<NodeId>& pending, std::int64_t epoch, Rng& rng,
-      const std::function<bool(NodeId)>& usable = {});
+      const std::function<bool(NodeId)>& usable = {},
+      const std::function<bool(NodeId, NodeId)>& relay_ok = {});
 
  private:
   void shuffle_inbox(Rng& rng);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "ctrl/peer_health.hpp"
+
 namespace sirius::ctrl {
 
 FailureDetectorSim::FailureDetectorSim(FailureDetectorConfig cfg,
@@ -13,9 +15,11 @@ FailureDetectorSim::FailureDetectorSim(FailureDetectorConfig cfg,
 
 DetectionResult FailureDetectorSim::run_hard_failure(NodeId victim,
                                                      std::int64_t max_rounds) {
+  // One miss run per observer, all tracking the victim: index the shared
+  // PeerHealth by observer id (each observer of a hard failure watches
+  // exactly one silent peer).
+  PeerHealth health(cfg_.nodes, cfg_.miss_threshold);
   const auto n = static_cast<std::size_t>(cfg_.nodes);
-  // Per-observer miss counter for the victim, and per-node awareness flag.
-  std::vector<std::int32_t> misses(n, 0);
   std::vector<std::uint8_t> aware(n, 0);
 
   DetectionResult out;
@@ -25,7 +29,7 @@ DetectionResult FailureDetectorSim::run_hard_failure(NodeId victim,
     bool newly_detected = false;
     for (NodeId obs = 0; obs < cfg_.nodes; ++obs) {
       if (obs == victim || aware[static_cast<std::size_t>(obs)]) continue;
-      if (++misses[static_cast<std::size_t>(obs)] >= cfg_.miss_threshold) {
+      if (health.record_miss(obs)) {
         aware[static_cast<std::size_t>(obs)] = 1;
         newly_detected = true;
       }
@@ -64,12 +68,13 @@ std::int64_t FailureDetectorSim::run_grey_failure(NodeId src, NodeId dst,
                                                   std::int64_t max_rounds) {
   assert(src != dst);
   assert(loss > 0.0 && loss <= 1.0);
-  std::int32_t misses = 0;
+  // dst watches the single link src -> dst; one Bernoulli draw per round.
+  PeerHealth health(1, cfg_.miss_threshold);
   for (std::int64_t round = 1; round <= max_rounds; ++round) {
     if (rng_.chance(loss)) {
-      if (++misses >= cfg_.miss_threshold) return round;
+      if (health.record_miss(0)) return round;
     } else {
-      misses = 0;
+      health.record_hit(0);
     }
   }
   return -1;

@@ -11,7 +11,9 @@
 // losses.
 //
 // This module simulates the detector at round granularity and reports
-// detection and dissemination latencies.
+// detection and dissemination latencies. The miss-run state machine itself
+// lives in ctrl::PeerHealth, shared with the packet-level sim::SiriusSim
+// so both simulations exercise one implementation.
 #pragma once
 
 #include <cstdint>

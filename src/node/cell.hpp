@@ -18,6 +18,7 @@ struct Cell {
   NodeId dst_node = 0;           ///< destination rack/node
   std::int32_t dst_server = 0;   ///< destination server (global index)
   std::int32_t payload_bytes = 0;///< application bytes carried (<= capacity)
+  std::int32_t retries = 0;      ///< §4.5 retransmission attempts so far
 };
 
 /// Number of cells needed for `size` bytes with `capacity` bytes per cell.

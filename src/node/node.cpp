@@ -11,6 +11,7 @@ Node::Node(NodeId self, const cc::RequestGrantConfig& cc_cfg,
     : self_(self), cc_(self, cc_cfg), cell_capacity_(cell_capacity) {
   vq_.resize(static_cast<std::size_t>(cc_cfg.nodes));
   fq_.resize(static_cast<std::size_t>(cc_cfg.nodes));
+  retx_.resize(static_cast<std::size_t>(cc_cfg.nodes));
   per_dst_.resize(static_cast<std::size_t>(cc_cfg.nodes));
 }
 
@@ -30,6 +31,15 @@ std::vector<NodeId> Node::pending_cell_dsts(Time now, Time cell_interval,
                                             std::size_t limit) const {
   std::vector<NodeId> out;
   out.reserve(limit);
+
+  // Retransmissions first: a lost cell blocks its flow's in-order prefix
+  // at the receiver, so re-covering it beats injecting fresh cells.
+  for (std::size_t dst = 0; dst < retx_.size() && out.size() < limit; ++dst) {
+    for (std::size_t k = 0; k < retx_[dst].size() && out.size() < limit; ++k) {
+      out.push_back(static_cast<NodeId>(dst));
+    }
+  }
+  if (out.size() >= limit) return out;
 
   // Bucket pending flows by source server (buckets keep flow arrival
   // order; each entry is (destination, pending cell count)).
@@ -108,9 +118,96 @@ Cell Node::cut_cell(LocalFlow& f) {
 
 std::optional<Cell> Node::take_cell_for(NodeId dst, Time now,
                                         Time cell_interval) {
+  auto& rq = retx_[static_cast<std::size_t>(dst)];
+  if (!rq.empty()) {
+    Cell c = rq.front();
+    rq.pop_front();
+    --retx_total_;
+    gauge_.remove(cell_capacity_);
+    return c;
+  }
   LocalFlow* f = oldest_pending_flow_for(dst, now, cell_interval);
   if (f == nullptr) return std::nullopt;
   return cut_cell(*f);
+}
+
+std::vector<FlowId> Node::abort_flows_where(
+    const std::function<bool(const LocalFlow&)>& pred) {
+  std::vector<FlowId> aborted;
+  for (LocalFlow& f : local_) {
+    if (f.exhausted() || !pred(f)) continue;
+    aborted.push_back(f.id);
+    f.moved_cells = f.total_cells;
+    --unfinished_flows_;
+  }
+  while (first_unfinished_ < local_.size() &&
+         local_[first_unfinished_].exhausted()) {
+    ++first_unfinished_;
+  }
+  return aborted;
+}
+
+void Node::push_retx(const Cell& c) {
+  retx_[static_cast<std::size_t>(c.dst_node)].push_back(c);
+  ++retx_total_;
+  gauge_.add(cell_capacity_);
+}
+
+std::int64_t Node::drain_vq_to_retx(NodeId intermediate) {
+  auto& q = vq_[static_cast<std::size_t>(intermediate)];
+  std::int64_t moved = 0;
+  while (!q.empty()) {
+    push_retx(q.front());
+    q.pop_front();
+    gauge_.remove(cell_capacity_);
+    ++moved;
+  }
+  return moved;
+}
+
+std::int64_t Node::purge_dst(NodeId dst,
+                             const std::function<void(NodeId)>& on_vq_purge) {
+  std::int64_t dropped = 0;
+  for (std::size_t inter = 0; inter < vq_.size(); ++inter) {
+    auto& q = vq_[inter];
+    for (std::size_t i = q.size(); i > 0; --i) {
+      Cell c = q.front();
+      q.pop_front();
+      if (c.dst_node == dst) {
+        gauge_.remove(cell_capacity_);
+        ++dropped;
+        if (on_vq_purge) on_vq_purge(static_cast<NodeId>(inter));
+      } else {
+        q.push_back(c);
+      }
+    }
+  }
+  auto& f = fq_[static_cast<std::size_t>(dst)];
+  dropped += static_cast<std::int64_t>(f.size());
+  gauge_.remove(cell_capacity_ * static_cast<std::int64_t>(f.size()));
+  f.clear();
+  auto& r = retx_[static_cast<std::size_t>(dst)];
+  dropped += static_cast<std::int64_t>(r.size());
+  retx_total_ -= static_cast<std::int64_t>(r.size());
+  gauge_.remove(cell_capacity_ * static_cast<std::int64_t>(r.size()));
+  r.clear();
+  return dropped;
+}
+
+std::int64_t Node::purge_all_queues() {
+  std::int64_t dropped = 0;
+  const auto clear_all = [&](std::vector<std::deque<Cell>>& qs) {
+    for (auto& q : qs) {
+      dropped += static_cast<std::int64_t>(q.size());
+      gauge_.remove(cell_capacity_ * static_cast<std::int64_t>(q.size()));
+      q.clear();
+    }
+  };
+  clear_all(vq_);
+  clear_all(fq_);
+  clear_all(retx_);
+  retx_total_ = 0;
+  return dropped;
 }
 
 std::optional<Cell> Node::take_any_cell(Time now, Time cell_interval) {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -80,6 +81,42 @@ class Node {
   /// scheduler-less spraying mode). Returns nullopt when LOCAL is empty.
   std::optional<Cell> take_any_cell(Time now, Time cell_interval);
 
+  /// Aborts every LOCAL flow matching `pred` (its destination died, or this
+  /// node itself fail-stopped): remaining cells are removed from LOCAL
+  /// without ever being injected. Returns the ids of the aborted flows.
+  std::vector<FlowId> abort_flows_where(
+      const std::function<bool(const LocalFlow&)>& pred);
+
+  // ---- retransmission queue (source role, §4.5 loss recovery) -----------
+
+  /// Re-queues a timed-out granted cell for retransmission. Retx cells are
+  /// served before LOCAL by take_cell_for / pending_cell_dsts, so the next
+  /// grant towards their destination re-covers the loss first.
+  void push_retx(const Cell& c);
+  [[nodiscard]] std::int64_t retx_total() const { return retx_total_; }
+  [[nodiscard]] std::int32_t retx_depth(NodeId dst) const {
+    return static_cast<std::int32_t>(
+        retx_[static_cast<std::size_t>(dst)].size());
+  }
+
+  // ---- failover queue surgery (§4.5) -------------------------------------
+
+  /// Moves every granted-but-unsent cell queued towards `intermediate`
+  /// back into the retransmission queue: the relay died before serving
+  /// them, and its grant accounting died with it. Returns the cell count.
+  std::int64_t drain_vq_to_retx(NodeId intermediate);
+
+  /// Drops every queued cell destined to `dst` (the destination rack
+  /// died). VQ cells still hold a grant at their — alive — intermediate,
+  /// so `on_vq_purge` is invoked with that intermediate for each; the
+  /// caller must release the grant there. Returns the cells dropped.
+  std::int64_t purge_dst(NodeId dst,
+                         const std::function<void(NodeId)>& on_vq_purge);
+
+  /// Empties every VQ, FQ and retx queue (this node fail-stopped; its
+  /// buffers are gone). Returns the cells dropped.
+  std::int64_t purge_all_queues();
+
   // ---- virtual queues towards intermediates (source role) ---------------
 
   void push_vq(NodeId intermediate, const Cell& c);
@@ -130,6 +167,8 @@ class Node {
 
   std::vector<std::deque<Cell>> vq_;
   std::vector<std::deque<Cell>> fq_;
+  std::vector<std::deque<Cell>> retx_;   // per destination, served first
+  std::int64_t retx_total_ = 0;
   stats::ByteGauge gauge_;
 };
 

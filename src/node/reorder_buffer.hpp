@@ -25,6 +25,12 @@ class ReorderBuffer {
   std::int64_t on_arrival(std::int32_t seq, std::int32_t bytes);
 
   [[nodiscard]] bool complete() const { return next_expected_ >= total_cells_; }
+  /// Has cell `seq` already arrived (released in order or still buffered)?
+  /// The §4.5 retransmission path uses this to cancel timeouts whose cell
+  /// made it after all, and to discard spurious duplicates on delivery.
+  [[nodiscard]] bool received(std::int32_t seq) const {
+    return seq < next_expected_ || pending_.count(seq) > 0;
+  }
   [[nodiscard]] std::int64_t total_cells() const { return total_cells_; }
   [[nodiscard]] std::int64_t next_expected() const { return next_expected_; }
   [[nodiscard]] std::int64_t buffered_cells() const {

@@ -9,38 +9,81 @@ namespace sirius::sim {
 
 namespace {
 
-// Alive member list for the schedule given the failed set.
-std::vector<NodeId> alive_members(const SiriusSimConfig& cfg) {
-  std::vector<bool> down(static_cast<std::size_t>(cfg.racks), false);
+// The static `failed_racks` list is sugar for a fault-plan entry that fails
+// the rack at t = 0 and never recovers; folding it in gives both mechanisms
+// one code path (schedule membership, exclusions, injection rejection).
+ctrl::FaultPlan folded_plan(const SiriusSimConfig& cfg) {
+  ctrl::FaultPlan plan = cfg.faults;
   for (const NodeId f : cfg.failed_racks) {
-    down[static_cast<std::size_t>(f)] = true;
+    plan.fail_rack(f, Time::zero());
+  }
+  return plan;
+}
+
+// Alive member list for the initial schedule given the fault plan.
+std::vector<NodeId> initial_members(const ctrl::FaultPlan& plan,
+                                    std::int32_t racks) {
+  std::vector<bool> down(static_cast<std::size_t>(racks), false);
+  for (const NodeId f : plan.down_at_start()) {
+    if (f >= 0 && f < racks) down[static_cast<std::size_t>(f)] = true;
   }
   std::vector<NodeId> alive;
-  alive.reserve(static_cast<std::size_t>(cfg.racks));
-  for (NodeId n = 0; n < cfg.racks; ++n) {
+  alive.reserve(static_cast<std::size_t>(racks));
+  for (NodeId n = 0; n < racks; ++n) {
     if (!down[static_cast<std::size_t>(n)]) alive.push_back(n);
   }
   return alive;
 }
 
+// Goodput considered "recovered" at this fraction of the pre-fault
+// baseline (FailoverStats::recovery).
+constexpr double kRecoverFrac = 0.95;
+
 }  // namespace
+
+bool SiriusSim::timer_later(const RetxTimer& a, const RetxTimer& b) {
+  if (a.deadline_round != b.deadline_round) {
+    return a.deadline_round > b.deadline_round;
+  }
+  if (a.cell.flow != b.cell.flow) return a.cell.flow > b.cell.flow;
+  return a.cell.seq > b.cell.seq;
+}
 
 SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
     : cfg_(cfg),
       workload_(workload),
-      sched_(alive_members(cfg), cfg.uplinks()),
+      plan_(folded_plan(cfg)),
+      sched_(initial_members(plan_, cfg.racks), cfg.uplinks()),
       rng_(cfg.seed ^ 0x5349524955u),
+      // Separate stream for the plan's Bernoulli draws: an empty plan must
+      // leave the baseline RNG sequence — and hence every baseline result —
+      // bit-identical.
+      fault_rng_(cfg.seed ^ 0x4641554C54ull),
       goodput_(cfg.servers(), cfg.server_share()) {
   SIRIUS_INVARIANT(workload_.servers == cfg_.servers(),
                    "workload generated for %d servers, config has %d",
                    workload_.servers, cfg_.servers());
+  const auto plan_error = plan_.validate(cfg_.racks);
+  SIRIUS_INVARIANT(plan_error == std::nullopt, "invalid fault plan: %s",
+                   plan_error ? plan_error->c_str() : "");
+  if (plan_error) plan_ = ctrl::FaultPlan{};
+
+  faults_active_ = plan_.dynamic();
+  SIRIUS_INVARIANT(!faults_active_ ||
+                       (!cfg_.ideal && cfg_.routing == RoutingMode::kValiant),
+                   "dynamic fault plans need the request/grant Valiant mode "
+                   "(in-band detection rides on its schedule bursts)");
+  if (faults_active_ && (cfg_.ideal || cfg_.routing != RoutingMode::kValiant)) {
+    faults_active_ = false;
+  }
 
   const cc::RequestGrantConfig cc_cfg{cfg_.racks, cfg_.queue_limit,
                                      cfg_.spread};
+  const auto down0 = plan_.down_at_start();
   nodes_.reserve(static_cast<std::size_t>(cfg_.racks));
   for (NodeId n = 0; n < cfg_.racks; ++n) {
     nodes_.emplace_back(n, cc_cfg, cfg_.slots.cell_size());
-    for (const NodeId f : cfg_.failed_racks) {
+    for (const NodeId f : down0) {
       nodes_.back().cc().exclude(f);
     }
   }
@@ -52,17 +95,64 @@ SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
           Time::ps(1)) /
              cfg_.slots.slot_duration());
   in_flight_.resize(static_cast<std::size_t>(prop_slots_) + 1);
+  audit_flight_rounds_ = static_cast<std::int32_t>(
+      (prop_slots_ + sched_.slots_per_round() - 1) / sched_.slots_per_round());
 
   nic_cell_time_ = cfg_.server_nic.transmission_time(cfg_.slots.cell_size());
   flows_remaining_ = static_cast<std::int64_t>(workload_.flows.size());
   measure_end_ = workload_.last_arrival();
   completions_.assign(workload_.flows.size(), Time::infinity());
+
+  if (faults_active_) {
+    std::int32_t q = cfg_.node_down_quorum;
+    if (q <= 0) q = std::max<std::int32_t>(2, cfg_.racks / 4);
+    quorum_ = std::max<std::int32_t>(
+        1, std::min<std::int32_t>(q, cfg_.racks - 1));
+    health_.reserve(static_cast<std::size_t>(cfg_.racks));
+    views_.reserve(static_cast<std::size_t>(cfg_.racks));
+    for (NodeId n = 0; n < cfg_.racks; ++n) {
+      health_.emplace_back(cfg_.racks, cfg_.miss_threshold);
+      views_.emplace_back(cfg_.racks, n, quorum_);
+    }
+    truth_down_.assign(static_cast<std::size_t>(cfg_.racks), 0);
+    for (const NodeId f : down0) {
+      truth_down_[static_cast<std::size_t>(f)] = 1;
+    }
+    fault_time_ = plan_.first_disruption();
+    for (const auto& f : plan_.rack_faults()) {
+      if (f.at > Time::zero() && f.at < rack_fault_time_) {
+        rack_fault_time_ = f.at;
+        first_fault_rack_ = f.rack;
+      }
+    }
+  }
+  if (cfg_.record_recovery_curve) {
+    recovery_ = std::make_unique<stats::RecoveryMeter>(
+        cfg_.servers(), cfg_.server_share(), cfg_.recovery_bin);
+  }
   register_auditors();
+}
+
+std::int32_t SiriusSim::retx_timeout_rounds() const {
+  if (cfg_.retx_timeout_rounds > 0) return cfg_.retx_timeout_rounds;
+  // The timer is armed when the cell's first-hop burst leaves the source
+  // (see transmit_slot), so the worst legitimate remaining path is: fly,
+  // wait out the relay queue (up to Q + flight cells ahead — the audited
+  // bound — at one (intermediate, dst) slot per round), fly again — plus
+  // slack for epoch phase alignment. Anything slower was lost. Arming at
+  // transmission rather than at grant matters: relay traffic has strict
+  // priority over granted first-hop cells, so the virtual-queue wait is
+  // load-dependent and unbounded — a grant-time timer would fire on cells
+  // the source has not even sent yet.
+  const auto spr = sched_.slots_per_round();
+  const auto flight = static_cast<std::int32_t>((prop_slots_ + spr - 1) / spr);
+  return 3 * flight + cfg_.queue_limit + cfg_.miss_threshold + 6;
 }
 
 void SiriusSim::register_auditors() {
   // Per-slot contention-freeness of the static schedule (§4.2): the tx map
-  // must be a partial permutation and peer_rx its inverse.
+  // must be a partial permutation and peer_rx its inverse. The audited slot
+  // is schedule-relative (a swap restarts the round phase).
   auditors_.register_auditor("schedule-permutation", [this] {
     check::audit_slot_permutation(sched_, audit_slot_);
   });
@@ -71,13 +161,11 @@ void SiriusSim::register_auditors() {
   // granted cell is *transmitted* (see transmit_slot), so between transmit
   // and landing a cell is neither outstanding nor queued: the audited bound
   // is Q plus the number of granted cells a fiber flight can overlap
-  // (ceil(prop_slots / slots_per_round) rounds, one grant per dst each).
+  // (ceil(prop_slots / slots_per_round) rounds, one grant per dst each),
+  // taken over every schedule this run has used (see audit_flight_rounds_).
   if (!cfg_.ideal && cfg_.routing == RoutingMode::kValiant) {
-    const auto flight_rounds = static_cast<std::int32_t>(
-        (prop_slots_ + sched_.slots_per_round() - 1) /
-        sched_.slots_per_round());
-    const std::int32_t bound = cfg_.queue_limit + flight_rounds + 1;
-    auditors_.register_auditor("queue-bound", [this, bound] {
+    auditors_.register_auditor("queue-bound", [this] {
+      const std::int32_t bound = cfg_.queue_limit + audit_flight_rounds_ + 1;
       for (const auto& n : nodes_) {
         check::audit_queue_bound(n, cfg_.queue_limit, bound);
       }
@@ -85,21 +173,23 @@ void SiriusSim::register_auditors() {
   }
 
   // Cell conservation: everything taken out of a LOCAL buffer is delivered,
-  // sitting in a VQ/FQ, or on the wire. Nothing is dropped in this sim —
-  // flows touching failed racks are rejected before injecting any cell.
+  // sitting in a VQ/FQ/retx queue, on the wire, or explicitly dropped by
+  // the failover path (dead-rack purges, grey losses, relay refusals,
+  // discarded duplicates). A fault-free run must audit with dropped == 0.
   auditors_.register_auditor("cell-conservation", [this] {
     std::int64_t queued = 0;
     for (const auto& n : nodes_) {
       for (NodeId d = 0; d < cfg_.racks; ++d) {
         queued += n.vq_depth(d) + n.fq_depth(d);
       }
+      queued += n.retx_total();
     }
     std::int64_t flying = 0;
     for (const auto& bucket : in_flight_) {
       flying += static_cast<std::int64_t>(bucket.size());
     }
     check::audit_cell_conservation(audit_injected_, cells_delivered_, queued,
-                                   flying, /*dropped=*/0);
+                                   flying, fo_.cells_dropped);
   });
 
   // Reorder buffers of in-progress flows stay structurally consistent.
@@ -119,12 +209,34 @@ void SiriusSim::finish_flow(FlowId flow, Time completion) {
   --flows_remaining_;
 }
 
+void SiriusSim::abort_rx_flow(FlowId flow) {
+  auto& rxp = rx_[static_cast<std::size_t>(flow)];
+  if (rxp == nullptr || rxp->aborted || rxp->reorder.complete()) return;
+  rxp->aborted = true;
+  ++fo_.flows_aborted;
+  --flows_remaining_;
+}
+
 void SiriusSim::deliver(const node::Cell& cell, Time now) {
   auto& rxp = rx_[static_cast<std::size_t>(cell.flow)];
   SIRIUS_INVARIANT(rxp != nullptr, "cell delivered for unknown flow %lld",
                    static_cast<long long>(cell.flow));
   if (rxp == nullptr) return;
   RxFlow& rx = *rxp;
+  if (faults_active_) {
+    if (rx.aborted) {
+      // An endpoint rack died; the flow is accounted as aborted and every
+      // straggler cell is an explicit drop.
+      ++fo_.cells_dropped;
+      return;
+    }
+    if (rx.reorder.received(cell.seq)) {
+      // The original made it after all: the retransmitted copy is spurious.
+      ++fo_.duplicates_discarded;
+      ++fo_.cells_dropped;
+      return;
+    }
+  }
 
   // Serialise onto the destination server's downlink.
   Time& free = server_free_[static_cast<std::size_t>(cell.dst_server)];
@@ -133,6 +245,9 @@ void SiriusSim::deliver(const node::Cell& cell, Time now) {
 
   if (delivered_at <= measure_end_) {
     goodput_.deliver(DataSize::bytes(cell.payload_bytes));
+  }
+  if (recovery_) {
+    recovery_->deliver(delivered_at, DataSize::bytes(cell.payload_bytes));
   }
   ++cells_delivered_;
 
@@ -153,10 +268,19 @@ void SiriusSim::inject_arrivals(Time now) {
     const NodeId dst_rack = rack_of(f.dst_server);
     const std::int64_t cells = node::cells_for(f.size, cfg_.slots.cell_size());
 
-    if (!sched_.is_member(src_rack) || !sched_.is_member(dst_rack)) {
-      // An endpoint rack is down: the flow cannot be carried (§4.5 — the
-      // blast radius of a failure is its own servers plus a 1/N bandwidth
-      // loss for everyone else, which the adjusted schedule handles).
+    // An endpoint rack is down — either out of the schedule already, or
+    // fail-stopped but not yet swapped out (its servers are physically
+    // dead, so no new flow can start; this is the one place the data plane
+    // reads ground truth, and it models the servers, not the fabric). §4.5:
+    // the blast radius of a failure is its own servers plus a 1/N
+    // bandwidth loss for everyone else.
+    const bool endpoint_dead =
+        faults_active_ && (truth_down_[static_cast<std::size_t>(src_rack)] !=
+                               0 ||
+                           truth_down_[static_cast<std::size_t>(dst_rack)] !=
+                               0);
+    if (!sched_.is_member(src_rack) || !sched_.is_member(dst_rack) ||
+        endpoint_dead) {
       ++rejected_flows_;
       --flows_remaining_;
       ++next_flow_;
@@ -169,6 +293,7 @@ void SiriusSim::inject_arrivals(Time now) {
                               cfg_.server_nic.transmission_time(f.size) +
                               cfg_.rack_switch_latency;
       if (completion <= measure_end_) goodput_.deliver(f.size);
+      if (recovery_) recovery_->deliver(completion, f.size);
       finish_flow(f.id, completion);
     } else {
       node::LocalFlow lf;
@@ -191,18 +316,38 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
   // direct-only routing (each pair owns its slot outright).
   if (cfg_.ideal || cfg_.routing == RoutingMode::kDirect) return;
 
+  const auto skip_node = [this](NodeId n) {
+    return faults_active_ && (truth_down_[static_cast<std::size_t>(n)] != 0 ||
+                              !sched_.is_member(n));
+  };
+
   // Phase A — every node, acting as intermediate, turns the requests it
   // received during the previous epoch into grants (bounded by Q).
   // Phase B — grants move cells from LOCAL into the per-intermediate
   // virtual queues (or are released if the cell already left).
   for (auto& inter : nodes_) {
+    if (skip_node(inter.self())) continue;
     auto grants = inter.cc().issue_grants(
         [&inter](NodeId dst) { return inter.fq_depth(dst); }, rng_);
     for (const cc::Grant& g : grants) {
+      if (faults_active_ && truth_down_[static_cast<std::size_t>(g.to)] != 0) {
+        // The grant burst towards a fail-stopped source is lost. The real
+        // protocol would leak this outstanding token until a grant timeout;
+        // we settle it at issue so the short pre-conviction window (the
+        // detector excludes the source within miss_threshold rounds) stays
+        // out of the ledger.
+        inter.cc().on_grant_release(g.dst);
+        ++stat_released_;
+        continue;
+      }
       auto& src = nodes_[static_cast<std::size_t>(g.to)];
+      const bool from_retx = src.retx_depth(g.dst) > 0;
       auto cell = src.take_cell_for(g.dst, now, nic_cell_time_);
       if (cell.has_value()) {
-        ++audit_injected_;
+        // Retransmitted cells re-entered the ledger when they were
+        // resurrected (expire_retx_timers); only fresh LOCAL cells are new
+        // injections.
+        if (!from_retx) ++audit_injected_;
         src.push_vq(g.intermediate, *cell);
       } else {
         inter.cc().on_grant_release(g.dst);
@@ -211,20 +356,40 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
     }
   }
 
-  // Phase C — every node emits this epoch's requests from LOCAL.
+  // Phase C — every node emits this epoch's requests from LOCAL (and from
+  // its retransmission queue, which pending_cell_dsts lists first).
   const auto limit = static_cast<std::size_t>(cfg_.racks - 1);
   for (auto& src : nodes_) {
-    if (!src.has_unfinished_flows()) continue;
+    if (skip_node(src.self())) continue;
+    if (!src.has_unfinished_flows() && src.retx_total() == 0) continue;
     const auto pending = src.pending_cell_dsts(now, nic_cell_time_, limit);
     const auto vq_has_room = [this, &src](NodeId i) {
       return src.vq_depth(i) < cfg_.max_vq_depth;
     };
+    std::function<bool(NodeId, NodeId)> relay_ok;
+    if (faults_active_) {
+      const NodeId s = src.self();
+      relay_ok = [this, s](NodeId inter, NodeId dst) {
+        const auto& view = views_[static_cast<std::size_t>(s)];
+        // Veto a relay whose link towards dst is reported lost (the cell
+        // would blackhole on the second hop), and one this source cannot
+        // reach itself (first hop; link_down(x, y) is x's verdict about
+        // the directed link y -> x).
+        return !view.link_down(dst, inter) && !view.link_down(inter, s);
+      };
+    }
     for (const auto& req :
-         src.cc().build_requests(pending, round, rng_, vq_has_room)) {
+         src.cc().build_requests(pending, round, rng_, vq_has_room,
+                                 relay_ok)) {
+      ++stat_requests_;
+      if (faults_active_ &&
+          (truth_down_[static_cast<std::size_t>(req.intermediate)] != 0 ||
+           !sched_.is_member(req.intermediate))) {
+        continue;  // the request burst lands on a dead receiver
+      }
       nodes_[static_cast<std::size_t>(req.intermediate)]
           .cc()
           .receive_request(cc::Request{src.self(), req.dst});
-      ++stat_requests_;
     }
   }
 }
@@ -233,6 +398,25 @@ void SiriusSim::land_arrivals(std::int64_t slot, Time now) {
   auto& bucket = in_flight_[static_cast<std::size_t>(
       slot % static_cast<std::int64_t>(in_flight_.size()))];
   for (const Arrival& a : bucket) {
+    if (faults_active_) {
+      if (truth_down_[static_cast<std::size_t>(a.to)] != 0 ||
+          !sched_.is_member(a.to)) {
+        // The receiver fail-stopped (or was deprovisioned) while the cell
+        // was on the fiber.
+        ++fo_.cells_dropped;
+        continue;
+      }
+      if (a.cell.dst_node != a.to &&
+          (!sched_.is_member(a.cell.dst_node) ||
+           nodes_[static_cast<std::size_t>(a.to)].cc().is_excluded(
+               a.cell.dst_node))) {
+        // Relay refusal: this intermediate believes the destination is
+        // gone, so queueing the cell would blackhole it. The source's
+        // retransmission timer (or flow abort) owns recovery.
+        ++fo_.cells_dropped;
+        continue;
+      }
+    }
     if (a.cell.dst_node == a.to) {
       // Reached its destination (second hop, or a lucky direct first hop).
       deliver(a.cell, now);
@@ -247,13 +431,46 @@ void SiriusSim::land_arrivals(std::int64_t slot, Time now) {
   bucket.clear();
 }
 
+bool SiriusSim::observe_burst(NodeId src, NodeId dst, std::int64_t round,
+                              Time now) {
+  // Called for every scheduled (src -> dst) burst with a live member
+  // receiver. The burst is lost when the transmitter is fail-stopped, or
+  // to a grey-link Bernoulli draw. Either way the receiver's detector sees
+  // only presence/absence — §4.5 probe-less detection.
+  bool lost = truth_down_[static_cast<std::size_t>(src)] != 0;
+  if (!lost && plan_.link_ever_grey(src, dst)) {
+    const double p = plan_.link_loss(src, dst, now);
+    lost = p > 0.0 && fault_rng_.chance(p);
+  }
+  auto& view = views_[static_cast<std::size_t>(dst)];
+  if (lost) {
+    if (health_[static_cast<std::size_t>(dst)].record_miss(src)) {
+      view.report_link(src, true);
+      if (detect_round_ < 0) {
+        detect_round_ = round;
+        detect_time_ = now;
+      }
+    }
+  } else {
+    health_[static_cast<std::size_t>(dst)].record_hit(src);
+    if (view.link_down(dst, src)) view.report_link(src, false);
+    // Every heard burst piggybacks the transmitter's membership view.
+    view.merge_from(views_[static_cast<std::size_t>(src)]);
+  }
+  return lost;
+}
+
 void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
   const auto land_slot = static_cast<std::size_t>(
       (slot + prop_slots_) % static_cast<std::int64_t>(in_flight_.size()));
+  // The schedule phase restarts at every swap, so peers are looked up at
+  // the schedule-relative slot.
+  const std::int64_t rel = slot - round_base_slot_;
+  const std::int64_t round = round_of_slot(slot);
   for (NodeId s = 0; s < cfg_.racks; ++s) {
     auto& n = nodes_[static_cast<std::size_t>(s)];
     for (UplinkId u = 0; u < sched_.uplinks(); ++u) {
-      const NodeId p = sched_.peer_tx(s, u, slot);
+      const NodeId p = sched_.peer_tx(s, u, rel);
       if (p == kInvalidNode) continue;
       if (cfg_.routing == RoutingMode::kDirect) {
         // Direct-only: pull the next pending cell addressed to p, if any.
@@ -264,10 +481,28 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
         }
         continue;
       }
+      bool lost = false;
+      bool p_dead = false;
+      if (faults_active_) {
+        p_dead = truth_down_[static_cast<std::size_t>(p)] != 0;
+        if (truth_down_[static_cast<std::size_t>(s)] != 0) {
+          // Dead transmitter: the expected burst never arrives; the live
+          // receiver records the miss — the §4.5 detection signal.
+          if (!p_dead) observe_burst(s, p, round, now);
+          continue;
+        }
+        // A dead receiver observes nothing (its cell is launched into the
+        // fiber regardless and dropped on landing).
+        if (!p_dead) lost = observe_burst(s, p, round, now);
+      }
       // Relay traffic first: it is older and its queue bound must drain.
       if (auto cell = n.pop_fq(p)) {
-        in_flight_[land_slot].push_back(Arrival{*cell, p});
-        ++stat_tx_relay_;
+        if (lost) {
+          ++fo_.cells_dropped;
+        } else {
+          in_flight_[land_slot].push_back(Arrival{*cell, p});
+          ++stat_tx_relay_;
+        }
         continue;
       }
       if (cfg_.ideal) {
@@ -276,18 +511,314 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
           in_flight_[land_slot].push_back(Arrival{*cell, p});
         }
       } else if (auto cell = n.pop_vq(p)) {
+        // The retransmission timer starts now — when the cell leaves the
+        // source's possession — not at grant time: a granted cell can
+        // legitimately starve in the virtual queue behind prioritised
+        // relay traffic for an unbounded, load-dependent time, and the
+        // source would never retransmit a cell it still holds anyway.
+        if (faults_active_) arm_retx_timer(*cell, s, round);
         // The granted cell is now on the wire towards intermediate p with a
         // deterministic arrival slot, so p's grant accounting can release
         // the outstanding slot immediately (the schedule guarantees p will
         // relay it no sooner than its own (p, dst) slot anyway). Keeping
         // outstanding held for the full fiber flight would turn Q into a
-        // bandwidth-delay-product cap at small slot sizes.
-        nodes_[static_cast<std::size_t>(p)].cc().on_granted_cell_arrival(
-            cell->dst_node);
-        in_flight_[land_slot].push_back(Arrival{*cell, p});
-        ++stat_tx_first_;
+        // bandwidth-delay-product cap at small slot sizes. A fail-stopped
+        // p's accounting was wiped with the rack, so there is nothing to
+        // settle there; a grey-lost cell still settles — the token was
+        // consumed at transmission either way.
+        if (!p_dead) {
+          nodes_[static_cast<std::size_t>(p)].cc().on_granted_cell_arrival(
+              cell->dst_node);
+        }
+        if (lost) {
+          ++fo_.cells_dropped;
+        } else {
+          in_flight_[land_slot].push_back(Arrival{*cell, p});
+          ++stat_tx_first_;
+        }
       }
     }
+  }
+}
+
+void SiriusSim::arm_retx_timer(const node::Cell& cell, NodeId src,
+                               std::int64_t round) {
+  retx_heap_.push_back(RetxTimer{round + retx_timeout_rounds(), cell, src});
+  std::push_heap(retx_heap_.begin(), retx_heap_.end(), &SiriusSim::timer_later);
+}
+
+void SiriusSim::expire_retx_timers(std::int64_t round) {
+  while (!retx_heap_.empty() && retx_heap_.front().deadline_round <= round) {
+    std::pop_heap(retx_heap_.begin(), retx_heap_.end(),
+                  &SiriusSim::timer_later);
+    const RetxTimer t = retx_heap_.back();
+    retx_heap_.pop_back();
+    const auto& rxp = rx_[static_cast<std::size_t>(t.cell.flow)];
+    if (rxp == nullptr || rxp->aborted || rxp->reorder.complete() ||
+        rxp->reorder.received(t.cell.seq)) {
+      continue;  // the cell made it after all, or nobody is waiting
+    }
+    if (truth_down_[static_cast<std::size_t>(t.src)] != 0 ||
+        !sched_.is_member(t.src)) {
+      continue;  // the source is gone; the flow-abort path owns this flow
+    }
+    if (t.cell.retries >= cfg_.retry_limit) {
+      // Give up: the flow cannot complete without this cell.
+      ++fo_.retx_abandoned;
+      abort_rx_flow(t.cell.flow);
+      continue;
+    }
+    node::Cell c = t.cell;
+    ++c.retries;
+    nodes_[static_cast<std::size_t>(t.src)].push_retx(c);
+    // The original copy left the ledger as a drop; the resurrected copy
+    // re-enters it as a fresh injection sitting in the retx queue.
+    ++audit_injected_;
+    ++fo_.cells_retransmitted;
+  }
+}
+
+void SiriusSim::apply_rack_death(NodeId rack, std::int64_t round) {
+  (void)round;
+  auto& n = nodes_[static_cast<std::size_t>(rack)];
+  // The rack's buffers die with it.
+  fo_.cells_dropped += n.purge_all_queues();
+  n.cc().clear_protocol_state();
+  n.abort_flows_where([](const node::LocalFlow&) { return true; });
+  // Every incomplete flow with an endpoint in the rack is lost: tx-side
+  // cells were just purged, rx-side servers are down. Only flows already
+  // injected have receive state; later arrivals are rejected at injection.
+  for (std::size_t i = 0; i < next_flow_; ++i) {
+    const workload::Flow& f = workload_.flows[i];
+    if (rack_of(f.src_server) == rack || rack_of(f.dst_server) == rack) {
+      abort_rx_flow(f.id);
+    }
+  }
+}
+
+void SiriusSim::sync_exclusions(NodeId observer, std::int64_t round) {
+  (void)round;
+  auto& n = nodes_[static_cast<std::size_t>(observer)];
+  const auto& view = views_[static_cast<std::size_t>(observer)];
+  for (NodeId d = 0; d < cfg_.racks; ++d) {
+    if (d == observer) continue;
+    const bool convicted = view.node_down(d);
+    const bool excluded = n.cc().is_excluded(d);
+    if (convicted && !excluded) {
+      n.cc().exclude(d);
+      // Queued cells *to* d are unrecoverable from here: drop them, and
+      // release the grant of every purged VQ cell at its — alive —
+      // intermediate so the relay's accounting stays exact.
+      fo_.cells_dropped += n.purge_dst(d, [this, d](NodeId inter) {
+        if (truth_down_[static_cast<std::size_t>(inter)] == 0) {
+          nodes_[static_cast<std::size_t>(inter)].cc().on_grant_release(d);
+          ++stat_released_;
+        }
+      });
+      // Cells waiting in the VQ towards d (granted by d as the relay, but
+      // not yet transmitted) still belong to this source: re-route them
+      // through the retransmission queue instead of dropping — no timer
+      // covers them, because timers arm at first-hop transmission. If d is
+      // only convicted (grey link, false alarm) its grant accounting is
+      // still live and must be released; a fail-stopped d's state died
+      // with the rack.
+      while (auto c = n.pop_vq(d)) {
+        if (truth_down_[static_cast<std::size_t>(d)] == 0) {
+          nodes_[static_cast<std::size_t>(d)].cc().on_grant_release(
+              c->dst_node);
+          ++stat_released_;
+        }
+        n.push_retx(*c);
+      }
+      // Flows from this rack to d cannot complete: stop feeding them.
+      for (const FlowId id : n.abort_flows_where(
+               [d](const node::LocalFlow& f) { return f.dst_node == d; })) {
+        abort_rx_flow(id);
+      }
+    } else if (!convicted && excluded && sched_.is_member(d)) {
+      // The verdicts cleared (grey window passed, or a false alarm): the
+      // member is usable again. Swapped-out racks stay excluded until the
+      // control plane re-provisions them (rejoin_rack).
+      n.cc().include(d);
+    }
+  }
+}
+
+void SiriusSim::swap_schedule(std::vector<NodeId> members, std::int64_t round,
+                              std::int64_t slot) {
+  sched_ = sched::CyclicSchedule(std::move(members), cfg_.uplinks());
+  // The new calendar starts at this slot: schedule-relative arithmetic
+  // (round boundaries, peer lookups, the permutation audit) rebases here.
+  round_base_slot_ = slot;
+  rounds_base_ = round;
+  audit_flight_rounds_ = std::max(
+      audit_flight_rounds_,
+      static_cast<std::int32_t>((prop_slots_ + sched_.slots_per_round() - 1) /
+                                sched_.slots_per_round()));
+  ++fo_.schedule_swaps;
+}
+
+void SiriusSim::rejoin_rack(NodeId rack, std::int64_t slot,
+                            std::int64_t round) {
+  // Administrative rejoin (§4.5 leaves re-provisioning to the control
+  // plane; in-band rejoin is impossible because a non-member has no
+  // schedule slots). The rebooted rack starts from clean state.
+  health_[static_cast<std::size_t>(rack)] =
+      ctrl::PeerHealth(cfg_.racks, cfg_.miss_threshold);
+  views_[static_cast<std::size_t>(rack)] =
+      ctrl::MembershipView(cfg_.racks, rack, quorum_);
+  for (NodeId n = 0; n < cfg_.racks; ++n) {
+    if (n != rack) {
+      health_[static_cast<std::size_t>(n)].reset(rack);
+      views_[static_cast<std::size_t>(n)].admit(rack);
+    }
+    nodes_[static_cast<std::size_t>(n)].cc().include(rack);
+  }
+  nodes_[static_cast<std::size_t>(rack)].cc().clear_protocol_state();
+
+  std::vector<NodeId> members;
+  members.reserve(static_cast<std::size_t>(sched_.nodes()) + 1);
+  for (NodeId m = 0; m < cfg_.racks; ++m) {
+    if (m == rack || sched_.is_member(m)) members.push_back(m);
+  }
+  // Provision the rebooted rack with the current membership: everything
+  // outside it is excluded until convicted otherwise... which for alive
+  // members never happens, and for the still-dead is already true.
+  auto& cc = nodes_[static_cast<std::size_t>(rack)].cc();
+  for (NodeId x = 0; x < cfg_.racks; ++x) {
+    if (x == rack) continue;
+    const bool member =
+        std::find(members.begin(), members.end(), x) != members.end();
+    if (member) {
+      cc.include(x);
+    } else {
+      cc.exclude(x);
+    }
+  }
+  swap_schedule(std::move(members), round, slot);
+}
+
+void SiriusSim::round_boundary_failover(std::int64_t round, std::int64_t slot,
+                                        Time now) {
+  const Time round_len =
+      cfg_.slots.slot_duration() * sched_.slots_per_round();
+  // Anchor the latency stats to the round containing each first disruption.
+  if (fault_round_ < 0 && !fault_time_.is_infinite() &&
+      fault_time_ < now + round_len) {
+    fault_round_ = round;
+  }
+  if (rack_fault_round_ < 0 && !rack_fault_time_.is_infinite() &&
+      rack_fault_time_ < now + round_len) {
+    rack_fault_round_ = round;
+  }
+
+  // 1. Ground-truth transitions, quantised to round boundaries: a rack
+  // that dies inside this round misses every burst of the round (probe at
+  // the round's end), which is exactly when its peers start counting.
+  const Time probe = now + round_len - Time::ps(1);
+  for (NodeId r = 0; r < cfg_.racks; ++r) {
+    const bool down = plan_.rack_down(r, probe);
+    if (down && truth_down_[static_cast<std::size_t>(r)] == 0) {
+      truth_down_[static_cast<std::size_t>(r)] = 1;
+      apply_rack_death(r, round);
+    } else if (!down && truth_down_[static_cast<std::size_t>(r)] != 0) {
+      // Powered back on; rejoins the schedule below once the plan's
+      // recovery time has passed.
+      truth_down_[static_cast<std::size_t>(r)] = 0;
+    }
+  }
+
+  // 2. Retransmission timeouts resurrect lost granted cells.
+  expire_retx_timers(round);
+
+  // 3. Every alive member acts on its merged view: exclude newly convicted
+  // nodes (and purge the queues that reference them), re-admit cleared
+  // members.
+  for (NodeId n = 0; n < cfg_.racks; ++n) {
+    if (truth_down_[static_cast<std::size_t>(n)] != 0 || !sched_.is_member(n)) {
+      continue;
+    }
+    sync_exclusions(n, round);
+  }
+
+  // 3b. Dissemination latency: the first mid-run rack fault counts as
+  // disseminated when every alive member has excluded the failed rack.
+  if (fo_.dissemination_rounds < 0 && first_fault_rack_ != kInvalidNode &&
+      rack_fault_round_ >= 0) {
+    bool all = true;
+    for (NodeId n = 0; n < cfg_.racks && all; ++n) {
+      if (n == first_fault_rack_ ||
+          truth_down_[static_cast<std::size_t>(n)] != 0 ||
+          !sched_.is_member(n)) {
+        continue;
+      }
+      all = nodes_[static_cast<std::size_t>(n)].cc().is_excluded(
+          first_fault_rack_);
+    }
+    if (all) {
+      fo_.dissemination_rounds = round - rack_fault_round_;
+      Time lat = now - rack_fault_time_;
+      if (lat < Time::zero()) lat = Time::zero();
+      fo_.dissemination_latency = lat;
+    }
+  }
+
+  // 4. Schedule swap: a member leaves the calendar once every alive member
+  // has excluded it — the views have converged, so everyone rebases onto
+  // the new calendar at the same boundary.
+  std::vector<NodeId> keep;
+  std::vector<NodeId> drop;
+  for (NodeId m = 0; m < cfg_.racks; ++m) {
+    if (!sched_.is_member(m)) continue;
+    bool any_observer = false;
+    bool all_excluded = true;
+    for (NodeId o = 0; o < cfg_.racks && all_excluded; ++o) {
+      if (o == m || truth_down_[static_cast<std::size_t>(o)] != 0 ||
+          !sched_.is_member(o)) {
+        continue;
+      }
+      any_observer = true;
+      all_excluded = nodes_[static_cast<std::size_t>(o)].cc().is_excluded(m);
+    }
+    if (any_observer && all_excluded) {
+      drop.push_back(m);
+    } else {
+      keep.push_back(m);
+    }
+  }
+  if (!drop.empty() && keep.size() >= 2) {
+    for (const NodeId m : drop) {
+      if (truth_down_[static_cast<std::size_t>(m)] != 0) continue;
+      // A live rack voted out (quorum of grey links): it is cut off from
+      // the fabric, so its flows and queues are as dead as a crashed
+      // rack's — the documented blast radius of a false conviction.
+      auto& node_m = nodes_[static_cast<std::size_t>(m)];
+      fo_.cells_dropped += node_m.purge_all_queues();
+      node_m.cc().clear_protocol_state();
+      for (const FlowId id : node_m.abort_flows_where(
+               [](const node::LocalFlow&) { return true; })) {
+        abort_rx_flow(id);
+      }
+      for (std::size_t i = 0; i < next_flow_; ++i) {
+        const workload::Flow& f = workload_.flows[i];
+        if (rack_of(f.src_server) == m || rack_of(f.dst_server) == m) {
+          abort_rx_flow(f.id);
+        }
+      }
+    }
+    swap_schedule(std::move(keep), round, slot);
+  }
+
+  // 5. Administrative rejoin of recovered racks whose plan recovery time
+  // has passed. Driven only by plan recovery events — never inferred from
+  // traffic — so a grey-convicted rack cannot oscillate back in.
+  for (const auto& f : plan_.rack_faults()) {
+    if (f.recover_at.is_infinite() || now < f.recover_at) continue;
+    if (truth_down_[static_cast<std::size_t>(f.rack)] != 0 ||
+        sched_.is_member(f.rack)) {
+      continue;
+    }
+    rejoin_rack(f.rack, slot, round);
   }
 }
 
@@ -300,14 +831,19 @@ SiriusSimResult SiriusSim::run() {
   std::int64_t slot = 0;
   for (; flows_remaining_ > 0 && slot < hard_stop; ++slot) {
     const Time now = cfg_.slots.slot_start(slot);
-    if (slot % sched_.slots_per_round() == 0) {
-      const std::int64_t round = slot / sched_.slots_per_round();
+    if ((slot - round_base_slot_) % sched_.slots_per_round() == 0) {
+      const std::int64_t round = round_of_slot(slot);
+      // Failover first: purges and schedule swaps must precede grant
+      // issuance so no grant references a queue that is about to vanish.
+      // A swap rebases the round phase at this very slot, so the round
+      // index is stable across it.
+      if (faults_active_) round_boundary_failover(round, slot, now);
       epoch_boundary(round, now);
       // Audit between phases, where the ledger is consistent: cells are
       // delivered, queued, or in an in_flight_ bucket, never mid-move.
       if (cfg_.audit_period_rounds > 0 &&
           round % cfg_.audit_period_rounds == 0) {
-        audit_slot_ = slot;
+        audit_slot_ = slot - round_base_slot_;
         auditors_.run_all();
       }
     }
@@ -320,7 +856,7 @@ SiriusSimResult SiriusSim::run() {
     land_arrivals(slot + k, cfg_.slots.slot_start(slot + k));
   }
   if (cfg_.audit_period_rounds > 0) {
-    audit_slot_ = slot;
+    audit_slot_ = slot - round_base_slot_;
     auditors_.run_all();
   }
 
@@ -346,6 +882,20 @@ SiriusSimResult SiriusSim::run() {
     r.grants_issued += n.cc().stat_grants_issued();
     r.grants_denied_q += n.cc().stat_denied_queue_bound();
   }
+  if (detect_round_ >= 0 && fault_round_ >= 0) {
+    fo_.detection_rounds = detect_round_ - fault_round_;
+    Time lat = detect_time_ - fault_time_;
+    if (lat < Time::zero()) lat = Time::zero();
+    fo_.detection_latency = lat;
+  }
+  if (recovery_) {
+    r.recovery_curve = recovery_->curve();
+    if (!fault_time_.is_infinite()) {
+      fo_.recovery = recovery_->analyze(fault_time_, kRecoverFrac,
+                                        measure_end_);
+    }
+  }
+  r.failover = fo_;
   return r;
 }
 

@@ -26,6 +26,8 @@
 
 #include "check/auditors.hpp"
 #include "common/rng.hpp"
+#include "ctrl/fault_plan.hpp"
+#include "ctrl/peer_health.hpp"
 #include "node/node.hpp"
 #include "node/reorder_buffer.hpp"
 #include "phy/slot_geometry.hpp"
@@ -33,6 +35,7 @@
 #include "stats/fct_tracker.hpp"
 #include "stats/goodput.hpp"
 #include "stats/occupancy.hpp"
+#include "stats/recovery.hpp"
 #include "workload/flow.hpp"
 
 namespace sirius::sim {
@@ -83,8 +86,37 @@ struct SiriusSimConfig {
   /// Racks that are down for the whole run (§4.5 fault tolerance): the
   /// schedule is built over the alive set, every node excludes them as
   /// relay intermediates, and flows touching them are rejected at
-  /// injection (counted in SiriusSimResult::rejected_flows).
+  /// injection (counted in SiriusSimResult::rejected_flows). Sugar for a
+  /// FaultPlan rack failure at t = 0 with no recovery; both mechanisms
+  /// share one code path.
   std::vector<NodeId> failed_racks;
+  /// Declarative mid-run fault timeline (§4.5). Static t=0 entries behave
+  /// exactly like `failed_racks`; anything dynamic — a failure at t > 0, a
+  /// recovery, or a grey link — enables the in-band failover machinery
+  /// (request/grant Valiant mode only): per-node PeerHealth miss counters
+  /// keyed off the cyclic schedule, piggybacked membership views, queue
+  /// purging with explicit drop accounting, bounded retransmission, and a
+  /// schedule swap once the alive nodes' views agree.
+  ctrl::FaultPlan faults;
+  /// Consecutive missed schedule bursts before an observer declares a
+  /// peer's link dead (§4.5; rides out synchronisation hiccups).
+  std::int32_t miss_threshold = 3;
+  /// Distinct observers whose reports convict a node as down, so one
+  /// locally-grey link cannot evict a healthy rack. 0 = auto:
+  /// max(2, alive_racks / 4).
+  std::int32_t node_down_quorum = 0;
+  /// Rounds a source waits, counted from the cell's first-hop
+  /// transmission, before assuming the cell was lost and retransmitting
+  /// it. 0 = auto: generously above the worst legitimate flight + relay
+  /// queue + flight latency, so only genuinely lost cells are resent.
+  std::int32_t retx_timeout_rounds = 0;
+  /// Retransmission attempts per cell before it is abandoned.
+  std::int32_t retry_limit = 16;
+  /// Record a goodput-vs-time curve (SiriusSimResult::recovery_curve)
+  /// binned at `recovery_bin`, and reduce it around the plan's first
+  /// disruption into FailoverStats::recovery.
+  bool record_recovery_curve = false;
+  Time recovery_bin = Time::us(2);
 
   [[nodiscard]] std::int32_t servers() const { return racks * servers_per_rack; }
   [[nodiscard]] std::int32_t uplinks() const {
@@ -95,6 +127,28 @@ struct SiriusSimConfig {
   [[nodiscard]] DataRate server_share() const {
     return (slots.line_rate() * base_uplinks) / servers_per_rack;
   }
+};
+
+/// §4.5 failover observability: what the fault did and how the fabric
+/// reacted, all derived in-band (no oracle timestamps except the plan's
+/// own fault instant, which anchors the latencies).
+struct FailoverStats {
+  std::int64_t cells_dropped = 0;          ///< all drop causes, ledger-audited
+  std::int64_t cells_retransmitted = 0;    ///< timeout resurrections
+  std::int64_t retx_abandoned = 0;         ///< cells past the retry limit
+  std::int64_t duplicates_discarded = 0;   ///< spurious retx copies at rx
+  std::int64_t flows_aborted = 0;          ///< an endpoint rack died mid-flow
+  std::int64_t schedule_swaps = 0;         ///< membership changes applied
+  /// Rounds from the first disruption's round to the first in-band
+  /// link-down declaration (-1 if never detected / no mid-run fault).
+  std::int64_t detection_rounds = -1;
+  /// Rounds from the first disruption's round until every alive node has
+  /// excluded the failed rack (-1 if n/a; hard rack faults only).
+  std::int64_t dissemination_rounds = -1;
+  Time detection_latency = Time::infinity();
+  Time dissemination_latency = Time::infinity();
+  /// Goodput transient around the first disruption (curve mode only).
+  stats::RecoverySummary recovery;
 };
 
 struct SiriusSimResult {
@@ -119,6 +173,10 @@ struct SiriusSimResult {
   std::int64_t grants_released = 0;
   std::int64_t slots_tx_relay = 0;  ///< second-hop transmissions
   std::int64_t slots_tx_first = 0;  ///< first-hop transmissions
+
+  FailoverStats failover;
+  /// Goodput-vs-time curve (record_recovery_curve mode).
+  std::vector<stats::RecoveryBin> recovery_curve;
 };
 
 /// Runs one Sirius experiment over `workload`. Flow endpoints in the
@@ -137,12 +195,27 @@ class SiriusSim {
   struct RxFlow {
     node::ReorderBuffer reorder;
     Time completion = Time::infinity();
+    bool aborted = false;  ///< an endpoint rack died; late cells are dropped
     explicit RxFlow(std::int64_t cells) : reorder(cells) {}
   };
   struct Arrival {
     node::Cell cell;
     NodeId to;
   };
+  /// A retransmission timer armed when a cell's first-hop burst leaves
+  /// the source; fires at a round boundary and resurrects the cell into
+  /// the source's retx queue unless the receive path already has it (lazy
+  /// invalidation via ReorderBuffer::received).
+  struct RetxTimer {
+    std::int64_t deadline_round = 0;
+    node::Cell cell;
+    NodeId src = 0;
+  };
+  /// Min-heap order for retransmission timers. Ties are broken by
+  /// (flow, seq) so the resurrection order — which feeds back into the
+  /// request stream — is deterministic regardless of the standard
+  /// library's heap layout.
+  static bool timer_later(const RetxTimer& a, const RetxTimer& b);
 
   [[nodiscard]] NodeId rack_of(std::int32_t server) const {
     return server / cfg_.servers_per_rack;
@@ -156,10 +229,36 @@ class SiriusSim {
   void deliver(const node::Cell& cell, Time now);
   void finish_flow(FlowId flow, Time completion);
 
+  // ---- §4.5 failover machinery (active only for dynamic fault plans) ----
+  /// Burst observation at the receiver: miss/hit bookkeeping, link-down
+  /// reports and piggybacked view merging. Returns true when the burst
+  /// (and any data cell on it) is lost to a grey link.
+  bool observe_burst(NodeId src, NodeId dst, std::int64_t round, Time now);
+  /// All round-boundary failover work, in deterministic order: ground
+  /// truth transitions, retransmission timeouts, view-driven exclusion
+  /// sync, schedule swap, administrative rejoin, latency stats.
+  void round_boundary_failover(std::int64_t round, std::int64_t slot,
+                               Time now);
+  void apply_rack_death(NodeId rack, std::int64_t round);
+  void sync_exclusions(NodeId observer, std::int64_t round);
+  void expire_retx_timers(std::int64_t round);
+  void swap_schedule(std::vector<NodeId> members, std::int64_t round,
+                     std::int64_t slot);
+  void rejoin_rack(NodeId rack, std::int64_t slot, std::int64_t round);
+  void arm_retx_timer(const node::Cell& cell, NodeId src, std::int64_t round);
+  void abort_rx_flow(FlowId flow);
+  [[nodiscard]] std::int32_t retx_timeout_rounds() const;
+  [[nodiscard]] std::int64_t round_of_slot(std::int64_t slot) const {
+    return rounds_base_ + (slot - round_base_slot_) / sched_.slots_per_round();
+  }
+
   SiriusSimConfig cfg_;
   const workload::Workload& workload_;
+  ctrl::FaultPlan plan_;  ///< cfg.faults with failed_racks folded in
   sched::CyclicSchedule sched_;
   Rng rng_;
+  Rng fault_rng_;  ///< grey-loss draws; separate stream so a fault plan
+                   ///< does not perturb the baseline RNG sequence
 
   std::vector<node::Node> nodes_;
   std::vector<std::unique_ptr<RxFlow>> rx_;      // indexed by flow id
@@ -178,13 +277,37 @@ class SiriusSim {
   std::vector<Time> completions_;
   check::AuditorRegistry auditors_;
   std::int64_t audit_injected_ = 0;  // cells taken out of any LOCAL buffer
-  std::int64_t audit_slot_ = 0;      // slot the permutation auditor inspects
+  std::int64_t audit_slot_ = 0;      // schedule-relative slot for the
+                                     // permutation auditor
   std::int64_t cells_delivered_ = 0;
   std::int64_t rejected_flows_ = 0;
   std::int64_t stat_requests_ = 0;
   std::int64_t stat_released_ = 0;
   std::int64_t stat_tx_relay_ = 0;
   std::int64_t stat_tx_first_ = 0;
+
+  // ---- §4.5 failover state ----------------------------------------------
+  bool faults_active_ = false;          // dynamic plan: in-band machinery on
+  std::int32_t quorum_ = 1;             // observers needed to convict a node
+  NodeId first_fault_rack_ = kInvalidNode;  // earliest mid-run rack fault
+  std::vector<ctrl::PeerHealth> health_;      // per rack, detector state
+  std::vector<ctrl::MembershipView> views_;   // per rack, piggybacked
+  std::vector<std::uint8_t> truth_down_;      // ground-truth rack status
+  std::vector<RetxTimer> retx_heap_;          // min-heap by deadline
+  std::int64_t round_base_slot_ = 0;  // first slot of the current schedule
+  std::int64_t rounds_base_ = 0;      // rounds completed before that slot
+  std::unique_ptr<stats::RecoveryMeter> recovery_;
+  FailoverStats fo_;
+  Time fault_time_ = Time::infinity();  // plan's first mid-run disruption
+  std::int64_t fault_round_ = -1;       // round containing fault_time_
+  Time rack_fault_time_ = Time::infinity();  // first mid-run *rack* fault
+  std::int64_t rack_fault_round_ = -1;  // round containing rack_fault_time_
+  std::int64_t detect_round_ = -1;      // first in-band link-down report
+  Time detect_time_ = Time::infinity();
+  // Largest flight-rounds value any schedule of this run has had; keeps the
+  // queue-bound audit valid across swaps (a rejoin shrinks flight_rounds,
+  // but cells granted under the old schedule may still be draining).
+  std::int32_t audit_flight_rounds_ = 1;
 };
 
 }  // namespace sirius::sim

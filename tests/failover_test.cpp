@@ -1,11 +1,13 @@
 // Tests for the §4.5 fault-tolerance machinery: member schedules, relay
-// exclusion in congestion control, and end-to-end behaviour with failed
-// racks.
+// exclusion in congestion control, end-to-end behaviour with failed racks,
+// and the mid-run fault path — in-band detection, schedule swap, loss
+// recovery, and rejoin.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "cc/request_grant.hpp"
+#include "check/invariant.hpp"
 #include "sched/schedule.hpp"
 #include "sim/sirius_sim.hpp"
 #include "workload/generator.hpp"
@@ -160,6 +162,179 @@ TEST(FailoverSim, NoTrafficThroughFailedRelay) {
   const auto r = sim::SiriusSim(cfg, w).run();
   EXPECT_EQ(r.incomplete_flows, 0);
 }
+
+// ---- mid-run faults: in-band detection and recovery ------------------------
+
+sim::SiriusSimConfig faulted_net() {
+  sim::SiriusSimConfig cfg;
+  cfg.racks = 8;
+  cfg.servers_per_rack = 4;
+  cfg.base_uplinks = 4;
+  cfg.seed = 7;
+  cfg.record_recovery_curve = true;
+  return cfg;
+}
+
+TEST(MidRunFault, HardFailureDetectedSwappedAndRecovered) {
+  // Rack 3 fail-stops at 60 us under 50% load. The fabric must notice the
+  // silence within miss_threshold rounds, agree within one more round,
+  // swap the schedule over the alive set, retransmit what was lost, and
+  // return to the pre-fault goodput. The run's own invariant auditors
+  // (cell conservation with explicit drops, queue bounds, permutation)
+  // execute throughout — any ledger leak aborts the test binary.
+  auto cfg = faulted_net();
+  cfg.faults.fail_rack(3, Time::us(60));
+  const auto w = failed_wl(cfg, 0.5, 800);
+  const auto r = sim::SiriusSim(cfg, w).run();
+  const auto& fo = r.failover;
+
+  ASSERT_GE(fo.detection_rounds, 1);
+  EXPECT_LE(fo.detection_rounds, cfg.miss_threshold);
+  ASSERT_GE(fo.dissemination_rounds, fo.detection_rounds);
+  EXPECT_LE(fo.dissemination_rounds, fo.detection_rounds + 1);
+  EXPECT_EQ(fo.schedule_swaps, 1);
+
+  // Losses happened and were recovered: drops are explicit, every cell
+  // not bound for the dead rack was retransmitted, and no surviving flow
+  // is stranded.
+  EXPECT_GT(fo.cells_dropped, 0);
+  EXPECT_GT(fo.cells_retransmitted, 0);
+  EXPECT_EQ(fo.retx_abandoned, 0);
+  EXPECT_GT(fo.flows_aborted, 0);  // flows ending at the dead rack
+  EXPECT_EQ(r.incomplete_flows, 0);
+
+  // Goodput transient: back to >= 95% of the pre-fault baseline.
+  EXPECT_FALSE(r.recovery_curve.empty());
+  EXPECT_GT(fo.recovery.baseline, 0.0);
+  EXPECT_TRUE(fo.recovery.recovered);
+  EXPECT_FALSE(fo.recovery.time_to_recover.is_infinite());
+}
+
+TEST(MidRunFault, GreyLinkDetectedByVictimWithoutConviction) {
+  // One directed link blacks out for a bounded window. Only the victim
+  // observer sees the silence; with a quorum of two no healthy rack may
+  // be evicted, so the schedule stays put while retransmissions repair
+  // the losses — and the verdict clears once the window passes.
+  auto cfg = faulted_net();
+  cfg.faults.grey_link(2, 5, 1.0, Time::us(40), Time::us(120));
+  const auto w = failed_wl(cfg, 0.5, 800);
+  const auto r = sim::SiriusSim(cfg, w).run();
+  const auto& fo = r.failover;
+
+  // Detected in-band at the same consecutive-miss threshold a hard
+  // failure would be (loss 1.0 misses every burst).
+  ASSERT_GE(fo.detection_rounds, 1);
+  EXPECT_LE(fo.detection_rounds, cfg.miss_threshold);
+
+  // ... but never convicted: one observer is below the quorum.
+  EXPECT_EQ(fo.schedule_swaps, 0);
+  EXPECT_EQ(fo.flows_aborted, 0);
+  EXPECT_EQ(fo.dissemination_rounds, -1);
+
+  // Every burst lost on the grey link was recovered by retransmission.
+  EXPECT_GT(fo.cells_retransmitted, 0);
+  EXPECT_EQ(fo.retx_abandoned, 0);
+  EXPECT_EQ(r.incomplete_flows, 0);
+  EXPECT_TRUE(fo.recovery.recovered);
+}
+
+TEST(MidRunFault, GreyDetectionLatencyGrowsAsLossFalls) {
+  // Same shape as ctrl_test's FailureDetector.GreyFailureEventuallyCaught,
+  // but in the packet-level sim: the consecutive-miss detector needs a
+  // geometric-tail run of losses, so a half-dead link trips the threshold
+  // within a few rounds while a 10%-lossy one takes far longer — and both
+  // are caught by the victim's PeerHealth alone, no oracle input.
+  const auto detect_rounds = [](double loss) {
+    auto cfg = faulted_net();
+    cfg.faults.grey_link(2, 5, loss, Time::us(30));
+    const auto w = failed_wl(cfg, 0.5, 800);
+    return sim::SiriusSim(cfg, w).run().failover.detection_rounds;
+  };
+  const auto heavy = detect_rounds(0.5);
+  const auto light = detect_rounds(0.10);
+  ASSERT_GE(heavy, faulted_net().miss_threshold);  // can't be faster than k
+  EXPECT_LT(heavy, 100);
+  // -1 (never detected before the run drains) also satisfies the shape;
+  // with this seed the run is long enough to catch it.
+  ASSERT_GT(light, 0);
+  EXPECT_GT(light, heavy);
+}
+
+TEST(MidRunFault, RecoveredRackRejoinsTheSchedule) {
+  // The failed rack comes back 120 us later: the control plane
+  // re-provisions it (§4.5 leaves rejoin to provisioning), giving a
+  // second schedule swap, and traffic keeps flowing to the end.
+  auto cfg = faulted_net();
+  cfg.faults.fail_rack(3, Time::us(60), Time::us(180));
+  const auto w = failed_wl(cfg, 0.5, 800);
+  const auto r = sim::SiriusSim(cfg, w).run();
+  EXPECT_EQ(r.failover.schedule_swaps, 2);
+  EXPECT_EQ(r.incomplete_flows, 0);
+  EXPECT_EQ(r.failover.retx_abandoned, 0);
+}
+
+TEST(MidRunFault, RunsAreBitIdenticalForSameSeedAndPlan) {
+  // (config, seed, plan) fully determines the experiment — including the
+  // Bernoulli draws of the grey link, which use their own RNG stream.
+  auto cfg = faulted_net();
+  cfg.faults.fail_rack(1, Time::us(60), Time::us(200));
+  cfg.faults.grey_link(2, 5, 0.5, Time::us(30), Time::us(90));
+  const auto w = failed_wl(cfg, 0.5, 600);
+  const auto a = sim::SiriusSim(cfg, w).run();
+  const auto b = sim::SiriusSim(cfg, w).run();
+
+  EXPECT_EQ(a.cells_delivered, b.cells_delivered);
+  EXPECT_EQ(a.slots_simulated, b.slots_simulated);
+  EXPECT_EQ(a.goodput_normalized, b.goodput_normalized);  // bit-identical
+  EXPECT_EQ(a.fct.short_fct_p99_ms, b.fct.short_fct_p99_ms);
+  EXPECT_EQ(a.failover.cells_dropped, b.failover.cells_dropped);
+  EXPECT_EQ(a.failover.cells_retransmitted, b.failover.cells_retransmitted);
+  EXPECT_EQ(a.failover.duplicates_discarded, b.failover.duplicates_discarded);
+  EXPECT_EQ(a.failover.detection_rounds, b.failover.detection_rounds);
+  EXPECT_EQ(a.failover.schedule_swaps, b.failover.schedule_swaps);
+  ASSERT_EQ(a.recovery_curve.size(), b.recovery_curve.size());
+  for (std::size_t i = 0; i < a.recovery_curve.size(); ++i) {
+    EXPECT_EQ(a.recovery_curve[i].goodput_normalized,
+              b.recovery_curve[i].goodput_normalized);
+  }
+  ASSERT_EQ(a.per_flow_completion.size(), b.per_flow_completion.size());
+  for (std::size_t i = 0; i < a.per_flow_completion.size(); ++i) {
+    EXPECT_EQ(a.per_flow_completion[i], b.per_flow_completion[i]);
+  }
+}
+
+TEST(MidRunFault, EmptyPlanIsBitIdenticalToBaseline) {
+  // The failover machinery must be invisible when no fault is dynamic:
+  // a run with an empty plan reproduces the plain run bit for bit (the
+  // fault RNG is a separate stream precisely so this holds).
+  const auto cfg = faulted_net();
+  const auto w = failed_wl(cfg, 0.5, 600);
+  auto plain_cfg = cfg;
+  plain_cfg.record_recovery_curve = false;
+  const auto plain = sim::SiriusSim(plain_cfg, w).run();
+  const auto faultless = sim::SiriusSim(cfg, w).run();
+  EXPECT_EQ(plain.cells_delivered, faultless.cells_delivered);
+  EXPECT_EQ(plain.goodput_normalized, faultless.goodput_normalized);
+  EXPECT_EQ(plain.fct.short_fct_p99_ms, faultless.fct.short_fct_p99_ms);
+  EXPECT_EQ(faultless.failover.cells_dropped, 0);
+  EXPECT_EQ(faultless.failover.cells_retransmitted, 0);
+}
+
+#if defined(SIRIUS_AUDIT)
+TEST(CcExclusion, OutOfRangeIdsAreAuditedAndIgnored) {
+  // Exclusion bookkeeping is bounds-checked: an out-of-range id trips the
+  // invariant (collected here instead of aborting) and is ignored on the
+  // defensive path instead of corrupting neighbouring state.
+  cc::RequestGrantNode n(0, cc::RequestGrantConfig{8, 4});
+  check::ScopedCollect collect;
+  n.exclude(99);
+  n.exclude(-1);
+  n.include(99);
+  EXPECT_FALSE(n.is_excluded(99));
+  EXPECT_EQ(collect.violations(), 4);  // 3 calls + the is_excluded probe
+  for (NodeId i = 0; i < 8; ++i) EXPECT_FALSE(n.is_excluded(i));
+}
+#endif
 
 }  // namespace
 }  // namespace sirius

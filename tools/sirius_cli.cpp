@@ -5,6 +5,14 @@
 //                    [--load L] [--flows N] [--seed S] [--q N]
 //                    [--guardband-ns G] [--multiplier M]
 //                    [--trace file.csv] [--fail rack[,rack...]]
+//                    [--fault RACK@T_US[+DURATION_US][,...]]
+//                    [--grey SRC>DST@LOSS[@FROM_US-UNTIL_US][,...]]
+//
+// `--fail` statically removes racks for the whole run (sugar for a fault at
+// t = 0). `--fault` and `--grey` build a §4.5 mid-run fault timeline: the
+// fabric must detect the fault in-band, reconfigure, and recover lost
+// cells; the run then also prints a failover summary (detection and
+// dissemination latency, drops, retransmissions, goodput transient).
 //   sirius_cli gen   --out file.csv [--racks N] [--servers-per-rack N]
 //                    [--load L] [--flows N] [--seed S]
 //   sirius_cli info  [--racks N] [--servers-per-rack N] [--uplinks N]
@@ -113,7 +121,9 @@ int cmd_run(const Args& a) {
     v.uplink_multiplier = opt_double(a, "multiplier", 1.5);
 
     const std::string fail = opt_str(a, "fail", "");
-    if (!fail.empty()) {
+    const std::string fault = opt_str(a, "fault", "");
+    const std::string grey = opt_str(a, "grey", "");
+    if (!fail.empty() || !fault.empty() || !grey.empty()) {
       sim::SiriusSimConfig s = make_sirius_config(cfg, v);
       for (std::size_t pos = 0; pos < fail.size();) {
         const std::size_t comma = fail.find(',', pos);
@@ -122,10 +132,39 @@ int cmd_run(const Args& a) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+      if (!fault.empty()) {
+        if (const auto err = s.faults.parse_fault(fault)) {
+          std::fprintf(stderr, "error: --fault: %s\n", err->c_str());
+          return 1;
+        }
+      }
+      if (!grey.empty()) {
+        if (const auto err = s.faults.parse_grey(grey)) {
+          std::fprintf(stderr, "error: --grey: %s\n", err->c_str());
+          return 1;
+        }
+      }
+      // Validate the whole timeline — including the --fail sugar — against
+      // the rack count before touching the simulator: out-of-range ids and
+      // duplicate failures are user errors, not invariant violations.
+      {
+        ctrl::FaultPlan all = s.faults;
+        for (const NodeId f : s.failed_racks) all.fail_rack(f, Time::zero());
+        if (const auto err = all.validate(s.racks)) {
+          std::fprintf(stderr, "error: fault plan: %s\n", err->c_str());
+          return 1;
+        }
+      }
+      const bool dynamic = [&] {
+        ctrl::FaultPlan all = s.faults;
+        for (const NodeId f : s.failed_racks) all.fail_rack(f, Time::zero());
+        return all.dynamic();
+      }();
+      s.record_recovery_curve = dynamic;
       sim::SiriusSim sim(s, w);
       const auto r = sim.run();
       RunMetrics m;
-      m.system = "Sirius(failed)";
+      m.system = dynamic ? "Sirius(faulted)" : "Sirius(failed)";
       m.load = load;
       m.short_fct_p99_ms = r.fct.short_fct_p99_ms;
       m.goodput = r.goodput_normalized;
@@ -135,6 +174,34 @@ int cmd_run(const Args& a) {
       print_metrics_row(m);
       std::printf("(rejected %lld flows touching failed racks)\n",
                   static_cast<long long>(r.rejected_flows));
+      if (dynamic) {
+        const auto& fo = r.failover;
+        std::printf("failover\n");
+        std::printf("  detection            : %lld rounds (%s)\n",
+                    static_cast<long long>(fo.detection_rounds),
+                    fo.detection_latency.to_string().c_str());
+        std::printf("  dissemination        : %lld rounds (%s)\n",
+                    static_cast<long long>(fo.dissemination_rounds),
+                    fo.dissemination_latency.to_string().c_str());
+        std::printf("  schedule swaps       : %lld\n",
+                    static_cast<long long>(fo.schedule_swaps));
+        std::printf("  cells dropped        : %lld\n",
+                    static_cast<long long>(fo.cells_dropped));
+        std::printf("  cells retransmitted  : %lld (%lld abandoned, "
+                    "%lld duplicates)\n",
+                    static_cast<long long>(fo.cells_retransmitted),
+                    static_cast<long long>(fo.retx_abandoned),
+                    static_cast<long long>(fo.duplicates_discarded));
+        std::printf("  flows aborted        : %lld\n",
+                    static_cast<long long>(fo.flows_aborted));
+        std::printf("  goodput dip          : floor %.2f of baseline %.3f, "
+                    "width %s\n",
+                    fo.recovery.dip_floor_frac, fo.recovery.baseline,
+                    fo.recovery.dip_width.to_string().c_str());
+        std::printf("  time to recover      : %s%s\n",
+                    fo.recovery.time_to_recover.to_string().c_str(),
+                    fo.recovery.recovered ? "" : " (not recovered)");
+      }
     } else {
       print_metrics_row(run_sirius(cfg, v, w));
     }
