@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <initializer_list>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "sim/sirius_sim.hpp"
+#include "telemetry/series.hpp"
 
 using namespace sirius;
 using namespace sirius::core;
@@ -49,38 +51,23 @@ void print_recovery(const char* label, const sim::SiriusSimResult& r,
               fo.recovery.dip_width.to_string().c_str(),
               fo.recovery.time_to_recover.to_string().c_str(),
               fo.recovery.recovered ? "" : " (never)");
-  // The curve itself, as an ASCII strip chart: one column per bin, scaled
-  // to the pre-fault baseline; 'X' marks the bin containing the fault.
-  // The chart stops once the arrival process winds down (the drain tail
-  // would read as a dip); the analysis above already excludes it too.
-  std::size_t last = r.recovery_curve.size();
-  while (last > 0 &&
-         r.recovery_curve[last - 1].goodput_normalized <
-             0.5 * fo.recovery.baseline) {
-    --last;
-  }
-  const std::size_t stride = last > 100 ? (last + 99) / 100 : 1;
-  std::printf("  goodput/baseline, %zu x 2 us per column:\n  [", stride);
-  const double base = fo.recovery.baseline > 0 ? fo.recovery.baseline : 1.0;
-  for (std::size_t i = 0; i < last; i += stride) {
-    double sum = 0.0;
-    bool fault_bin = false;
-    const std::size_t end = std::min(last, i + stride);
-    for (std::size_t j = i; j < end; ++j) {
-      sum += r.recovery_curve[j].goodput_normalized;
-      fault_bin = fault_bin || (r.recovery_curve[j].start <= fault_at &&
-                                fault_at <
-                                    r.recovery_curve[j].start + Time::us(2));
+  // The curve itself, rendered by the shared telemetry strip-chart: one
+  // glyph per column scaled to the pre-fault baseline, 'X' marking the
+  // fault bin, drain tail trimmed (it would read as a dip).
+  std::vector<double> per_bin;
+  per_bin.reserve(r.recovery_curve.size());
+  std::ptrdiff_t mark = -1;
+  for (std::size_t i = 0; i < r.recovery_curve.size(); ++i) {
+    per_bin.push_back(r.recovery_curve[i].goodput_normalized);
+    if (r.recovery_curve[i].start <= fault_at &&
+        fault_at < r.recovery_curve[i].start + Time::us(2)) {
+      mark = static_cast<std::ptrdiff_t>(i);
     }
-    const double frac = sum / (static_cast<double>(end - i) * base);
-    const char* glyph = frac >= 0.95   ? "#"
-                        : frac >= 0.75 ? "+"
-                        : frac >= 0.50 ? "-"
-                        : frac >= 0.25 ? "."
-                                       : " ";
-    std::printf("%s", fault_bin ? "X" : glyph);
   }
-  std::printf("]\n");
+  const telemetry::StripChart chart =
+      telemetry::render_strip_chart(per_bin, fo.recovery.baseline, mark);
+  std::printf("  goodput/baseline, %zu x 2 us per column:\n  [%s]\n",
+              chart.stride, chart.cells.c_str());
 }
 
 }  // namespace

@@ -12,9 +12,16 @@ option(SIRIUS_LINT "Run clang-tidy over src/ (needs clang-tidy in PATH)" OFF)
 option(SIRIUS_AUDIT
        "Compile SIRIUS_INVARIANT as runtime-checked audits (plain assert() \
 when OFF)" ON)
+option(SIRIUS_TELEMETRY
+       "Compile the telemetry macros (SIRIUS_CELL_EVENT, \
+SIRIUS_PROFILE_SCOPE) as live sinks; OFF compiles them away entirely" ON)
 
 if(SIRIUS_AUDIT)
   add_compile_definitions(SIRIUS_AUDIT)
+endif()
+
+if(SIRIUS_TELEMETRY)
+  add_compile_definitions(SIRIUS_TELEMETRY)
 endif()
 
 if(SIRIUS_WERROR)

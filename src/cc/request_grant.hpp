@@ -150,6 +150,7 @@ class RequestGrantNode {
   void on_grant_release(NodeId dst) {
     auto& out = outstanding_[static_cast<std::size_t>(dst)];
     if (out > 0) --out;
+    ++stat_releases_;
   }
 
   /// Marks `node` as failed: it is never chosen as an intermediate again
@@ -198,6 +199,9 @@ class RequestGrantNode {
   [[nodiscard]] std::int64_t stat_requests_received() const { return stat_requests_; }
   [[nodiscard]] std::int64_t stat_grants_issued() const { return stat_grants_; }
   [[nodiscard]] std::int64_t stat_denied_queue_bound() const { return stat_denied_q_; }
+  /// Release callbacks received at this intermediate (duplicates included —
+  /// redundant releases are part of the contract).
+  [[nodiscard]] std::int64_t stat_grants_released() const { return stat_releases_; }
 
   // ---- source role -------------------------------------------------------
 
@@ -243,6 +247,7 @@ class RequestGrantNode {
   std::int64_t stat_requests_ = 0;
   std::int64_t stat_grants_ = 0;
   std::int64_t stat_denied_q_ = 0;
+  std::int64_t stat_releases_ = 0;
 };
 
 }  // namespace sirius::cc

@@ -4,7 +4,9 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
+#include <utility>
 
 namespace sirius::check {
 
@@ -18,6 +20,28 @@ std::mutex g_reports_mutex;
 std::vector<Violation>& retained() {
   static std::vector<Violation> reports;
   return reports;
+}
+
+std::mutex g_hook_mutex;
+std::function<void()>& failure_hook() {
+  static std::function<void()> hook;
+  return hook;
+}
+// Guards against a hook that itself trips an invariant (the flight
+// recorder's dump path must never recurse back into fail()).
+thread_local bool g_in_failure_hook = false;
+
+void run_failure_hook() {
+  if (g_in_failure_hook) return;
+  std::function<void()> hook;
+  {
+    const std::lock_guard<std::mutex> lock(g_hook_mutex);
+    hook = failure_hook();
+  }
+  if (!hook) return;
+  g_in_failure_hook = true;
+  hook();
+  g_in_failure_hook = false;
 }
 
 }  // namespace
@@ -77,16 +101,25 @@ void InvariantContext::fail(const char* file, int line, const char* expr,
 
   g_violations.fetch_add(1, std::memory_order_relaxed);
   if (mode() == InvariantMode::kCollect) {
-    const std::lock_guard<std::mutex> lock(g_reports_mutex);
-    if (retained().size() < kMaxRetained) {
-      retained().push_back(Violation{
-          file, line, std::string(expr) + " — " + buf});
+    {
+      const std::lock_guard<std::mutex> lock(g_reports_mutex);
+      if (retained().size() < kMaxRetained) {
+        retained().push_back(Violation{
+            file, line, std::string(expr) + " — " + buf});
+      }
     }
+    run_failure_hook();
     return;
   }
   std::fprintf(stderr, "SIRIUS_INVARIANT failed at %s:%d: %s — %s\n", file,
                line, expr, buf);
+  run_failure_hook();
   std::abort();
+}
+
+void InvariantContext::set_failure_hook(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(g_hook_mutex);
+  failure_hook() = std::move(hook);
 }
 
 ScopedCollect::ScopedCollect()

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,13 @@ class InvariantContext {
   [[gnu::format(printf, 5, 6)]] void fail(const char* file, int line,
                                           const char* expr, const char* fmt,
                                           ...);
+
+  /// Installs a callback invoked on *every* failed invariant, in both
+  /// modes, after the violation is recorded and before the abort/return.
+  /// Process-global, last writer wins; pass nullptr to uninstall. Used by
+  /// the telemetry flight recorder to dump recent events next to the
+  /// report — the hook must not itself rely on invariants holding.
+  void set_failure_hook(std::function<void()> hook);
 
   static constexpr std::size_t kMaxRetained = 64;
 

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/invariant.hpp"
+
 namespace sirius {
 
 /// Exact percentile tracker: stores every sample, sorts on demand.
@@ -104,6 +106,51 @@ class Histogram {
       cum += counts_[i];
     }
     return static_cast<double>(cum) / static_cast<double>(total_);
+  }
+
+  /// Binned percentile, p in [0, 100], with linear interpolation inside the
+  /// covering bin (samples are assumed uniform within a bin). Edge
+  /// behaviour: an empty histogram returns lo; p <= 0 returns the lower
+  /// edge of the first non-empty bin; p >= 100 the upper edge of the last
+  /// non-empty bin. Out-of-range samples were clamped at add() time, so
+  /// the result always lies in [lo, hi].
+  double percentile(double p) const {
+    if (total_ == 0) return lo_;
+    std::size_t first = 0;
+    while (counts_[first] == 0) ++first;
+    std::size_t last = counts_.size() - 1;
+    while (counts_[last] == 0) --last;
+    if (p <= 0.0) return bin_low(first);
+    if (p >= 100.0) return bin_high(last);
+    const double target = p / 100.0 * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = first; i <= last; ++i) {
+      const auto c = static_cast<double>(counts_[i]);
+      if (cum + c >= target && c > 0.0) {
+        const double frac = (target - cum) / c;
+        return bin_low(i) + (bin_high(i) - bin_low(i)) * frac;
+      }
+      cum += c;
+    }
+    return bin_high(last);
+  }
+
+  /// Accumulates another histogram's counts into this one. Both must share
+  /// the exact (lo, hi, bins) geometry; a mismatch is an invariant
+  /// violation and the merge is skipped on the defensive path.
+  void merge(const Histogram& other) {
+    const bool same = lo_ == other.lo_ && hi_ == other.hi_ &&
+                      counts_.size() == other.counts_.size();
+    SIRIUS_INVARIANT(same,
+                     "Histogram::merge geometry mismatch: [%g, %g)/%zu vs "
+                     "[%g, %g)/%zu",
+                     lo_, hi_, counts_.size(), other.lo_, other.hi_,
+                     other.counts_.size());
+    if (!same) return;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
   }
 
  private:

@@ -48,8 +48,11 @@ sim::SiriusSimConfig make_sirius_config(const ExperimentConfig& cfg,
 }
 
 RunMetrics run_sirius(const ExperimentConfig& cfg, const SiriusVariant& v,
-                      const workload::Workload& w) {
-  sim::SiriusSim sim(make_sirius_config(cfg, v), w);
+                      const workload::Workload& w,
+                      telemetry::Hub* telemetry) {
+  sim::SiriusSimConfig s = make_sirius_config(cfg, v);
+  s.telemetry = telemetry;
+  sim::SiriusSim sim(s, w);
   const sim::SiriusSimResult r = sim.run();
   RunMetrics m;
   m.system = v.ideal ? "Sirius(Ideal)" : "Sirius";
@@ -69,12 +72,13 @@ RunMetrics run_sirius(const ExperimentConfig& cfg, const SiriusVariant& v,
 }
 
 RunMetrics run_esn(const ExperimentConfig& cfg, std::int32_t oversub,
-                   const workload::Workload& w) {
+                   const workload::Workload& w, telemetry::Hub* telemetry) {
   esn::EsnConfig e;
   e.racks = cfg.racks;
   e.servers_per_rack = cfg.servers_per_rack;
   e.server_rate = cfg.server_share();
   e.oversubscription = oversub;
+  e.telemetry = telemetry;
   esn::EsnFluidSim sim(e, w);
   const esn::EsnSimResult r = sim.run();
   RunMetrics m;

@@ -60,17 +60,21 @@ struct RunMetrics {
 /// Generates the §7 workload for a given load and mean flow size.
 workload::Workload make_workload(const ExperimentConfig& cfg, double load);
 
-/// Runs Sirius (request/grant or ideal) at `load`.
+/// Runs Sirius (request/grant or ideal) at `load`. `telemetry`, when
+/// non-null, is attached to the underlying simulation for the run (see
+/// sim::SiriusSimConfig::telemetry).
 RunMetrics run_sirius(const ExperimentConfig& cfg, const SiriusVariant& v,
                       double load);
 RunMetrics run_sirius(const ExperimentConfig& cfg, const SiriusVariant& v,
-                      const workload::Workload& w);
+                      const workload::Workload& w,
+                      telemetry::Hub* telemetry = nullptr);
 
 /// Runs the idealised electrical baseline (`oversub` = 1 or 3).
 RunMetrics run_esn(const ExperimentConfig& cfg, std::int32_t oversub,
                    double load);
 RunMetrics run_esn(const ExperimentConfig& cfg, std::int32_t oversub,
-                   const workload::Workload& w);
+                   const workload::Workload& w,
+                   telemetry::Hub* telemetry = nullptr);
 
 /// Builds the SiriusSimConfig for a variant (exposed for tests/examples).
 sim::SiriusSimConfig make_sirius_config(const ExperimentConfig& cfg,

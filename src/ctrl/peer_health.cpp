@@ -31,9 +31,11 @@ bool PeerHealth::record_miss(NodeId peer) {
                    peers());
   if (peer < 0 || peer >= peers()) return false;
   const auto i = static_cast<std::size_t>(peer);
+  ++stat_misses_;
   if (declared_[i] != 0) return false;  // already convicted; run saturates
   if (++misses_[i] >= threshold_) {
     declared_[i] = 1;
+    ++stat_declarations_;
     return true;
   }
   return false;

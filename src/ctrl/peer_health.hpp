@@ -48,6 +48,13 @@ class PeerHealth {
 
   [[nodiscard]] std::int32_t misses(NodeId peer) const;
   [[nodiscard]] std::int32_t threshold() const { return threshold_; }
+  /// Cumulative misses recorded over this detector's lifetime (telemetry;
+  /// unlike misses(), never reset by a hit).
+  [[nodiscard]] std::int64_t stat_misses() const { return stat_misses_; }
+  /// Link-down declarations this observer has made (threshold crossings).
+  [[nodiscard]] std::int64_t stat_declarations() const {
+    return stat_declarations_;
+  }
   [[nodiscard]] std::int32_t peers() const {
     return static_cast<std::int32_t>(misses_.size());
   }
@@ -59,6 +66,8 @@ class PeerHealth {
   std::int32_t threshold_;
   std::vector<std::int32_t> misses_;
   std::vector<std::uint8_t> declared_;
+  std::int64_t stat_misses_ = 0;
+  std::int64_t stat_declarations_ = 0;
 };
 
 /// One node's view of every directed link, merged in-band (§4.5

@@ -19,6 +19,16 @@ EsnFluidSim::EsnFluidSim(EsnConfig cfg, const workload::Workload& workload)
       measure_end_(workload.last_arrival()) {
   assert(workload_.servers == cfg_.servers() &&
          "workload generated for a different server count");
+  hub_ = cfg_.telemetry;
+  if (hub_ == nullptr) {
+    own_hub_ = std::make_unique<telemetry::Hub>();
+    hub_ = own_hub_.get();
+  }
+  hub_->attach_nodes(cfg_.racks);
+  telemetry::MetricsRegistry& m = hub_->metrics();
+  c_completed_ = &m.counter("esn.flows_completed");
+  c_recomputes_ = &m.counter("esn.rate_recomputes");
+  g_active_ = &m.gauge("esn.active_flows");
   const std::int32_t s = cfg_.servers();
   const std::int32_t r = cfg_.racks;
   capacity_.assign(static_cast<std::size_t>(2 * s + 2 * r), 0.0);
@@ -169,6 +179,7 @@ EsnSimResult EsnFluidSim::run() {
         const Time fct =
             Time::from_sec(now_sec) - wf.arrival + cfg_.base_latency;
         fct_.record(wf.size, fct);
+        c_completed_->inc();
         active_[i] = active_.back();
         active_.pop_back();
       } else {
@@ -197,7 +208,21 @@ EsnSimResult EsnFluidSim::run() {
       ++next_arrival;
     }
 
-    recompute_rates();
+    {
+      SIRIUS_PROFILE_SCOPE(hub_->profiler(),
+                           telemetry::ProfScope::kEsnRates);
+      recompute_rates();
+    }
+    c_recomputes_->inc();
+    if (hub_->metrics_enabled()) {
+      g_active_->set(static_cast<double>(active_.size()));
+      hub_->maybe_sample(Time::from_sec(now_sec));
+    }
+  }
+
+  if (hub_->metrics_enabled()) {
+    g_active_->set(static_cast<double>(active_.size()));
+    hub_->sample(Time::from_sec(now_sec));
   }
 
   EsnSimResult r;

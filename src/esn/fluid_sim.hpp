@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "stats/fct_tracker.hpp"
 #include "stats/goodput.hpp"
+#include "telemetry/hub.hpp"
 #include "workload/flow.hpp"
 
 namespace sirius::esn {
@@ -34,6 +36,9 @@ struct EsnConfig {
   /// Base propagation + switching latency added to every flow (store and
   /// forward through the Clos tiers).
   Time base_latency = Time::us(2);
+  /// Telemetry sink; null means a private disabled hub (see
+  /// sim::SiriusSimConfig::telemetry for the contract).
+  telemetry::Hub* telemetry = nullptr;
 
   [[nodiscard]] std::int32_t servers() const { return racks * servers_per_rack; }
 };
@@ -76,6 +81,14 @@ class EsnFluidSim {
   stats::FctTracker fct_;
   stats::GoodputMeter goodput_;
   Time measure_end_;
+
+  // Telemetry spine (see sim::SiriusSim): counters bound once at
+  // construction, bumped through the pointers.
+  std::unique_ptr<telemetry::Hub> own_hub_;
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* c_completed_ = nullptr;
+  telemetry::Counter* c_recomputes_ = nullptr;
+  telemetry::Gauge* g_active_ = nullptr;
 };
 
 }  // namespace sirius::esn

@@ -60,6 +60,13 @@ SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
       // bit-identical.
       fault_rng_(cfg.seed ^ 0x4641554C54ull),
       goodput_(cfg.servers(), cfg.server_share()) {
+  hub_ = cfg_.telemetry;
+  if (hub_ == nullptr) {
+    own_hub_ = std::make_unique<telemetry::Hub>();
+    hub_ = own_hub_.get();
+  }
+  hub_->attach_nodes(cfg_.racks);
+  bind_metrics();
   SIRIUS_INVARIANT(workload_.servers == cfg_.servers(),
                    "workload generated for %d servers, config has %d",
                    workload_.servers, cfg_.servers());
@@ -149,6 +156,61 @@ std::int32_t SiriusSim::retx_timeout_rounds() const {
   return 3 * flight + cfg_.queue_limit + cfg_.miss_threshold + 6;
 }
 
+void SiriusSim::bind_metrics() {
+  telemetry::MetricsRegistry& m = hub_->metrics();
+  c_injected_ = &m.counter("sim.cells_injected");
+  c_delivered_ = &m.counter("sim.cells_delivered");
+  c_rejected_flows_ = &m.counter("sim.flows_rejected");
+  c_tx_first_ = &m.counter("sim.tx_first");
+  c_tx_relay_ = &m.counter("sim.tx_relay");
+  c_requests_ = &m.counter("cc.requests_sent");
+  c_released_ = &m.counter("cc.grants_released");
+  c_dropped_ = &m.counter("failover.cells_dropped");
+  c_retx_ = &m.counter("failover.cells_retransmitted");
+  c_retx_abandoned_ = &m.counter("failover.retx_abandoned");
+  c_duplicates_ = &m.counter("failover.duplicates_discarded");
+  c_flows_aborted_ = &m.counter("failover.flows_aborted");
+  c_swaps_ = &m.counter("failover.schedule_swaps");
+  g_flows_remaining_ = &m.gauge("sim.flows_remaining");
+  g_queue_worst_kb_ = &m.gauge("queues.worst_kb");
+  g_retx_pending_ = &m.gauge("retx.pending");
+  g_members_ = &m.gauge("sched.members");
+  g_requests_received_ = &m.gauge("cc.requests_received");
+  g_grants_issued_ = &m.gauge("cc.grants_issued");
+  g_grants_denied_ = &m.gauge("cc.grants_denied_q");
+  g_detector_misses_ = &m.gauge("detector.misses_total");
+  g_detector_declared_ = &m.gauge("detector.declarations_total");
+  h_fct_us_ = &m.histogram("flow.fct_us", 0.0, 50'000.0, 500);
+}
+
+void SiriusSim::update_gauges() {
+  g_flows_remaining_->set(static_cast<double>(flows_remaining_));
+  double worst_kb = 0.0;
+  std::int64_t req_rx = 0;
+  std::int64_t grants = 0;
+  std::int64_t denied = 0;
+  for (const auto& n : nodes_) {
+    worst_kb = std::max(worst_kb, n.current_queue().in_kb());
+    req_rx += n.cc().stat_requests_received();
+    grants += n.cc().stat_grants_issued();
+    denied += n.cc().stat_denied_queue_bound();
+  }
+  g_queue_worst_kb_->set(worst_kb);
+  g_retx_pending_->set(static_cast<double>(retx_heap_.size()));
+  g_members_->set(static_cast<double>(sched_.nodes()));
+  g_requests_received_->set(static_cast<double>(req_rx));
+  g_grants_issued_->set(static_cast<double>(grants));
+  g_grants_denied_->set(static_cast<double>(denied));
+  std::int64_t det_misses = 0;
+  std::int64_t det_declared = 0;
+  for (const auto& h : health_) {
+    det_misses += h.stat_misses();
+    det_declared += h.stat_declarations();
+  }
+  g_detector_misses_->set(static_cast<double>(det_misses));
+  g_detector_declared_->set(static_cast<double>(det_declared));
+}
+
 void SiriusSim::register_auditors() {
   // Per-slot contention-freeness of the static schedule (§4.2): the tx map
   // must be a partial permutation and peer_rx its inverse. The audited slot
@@ -188,8 +250,9 @@ void SiriusSim::register_auditors() {
     for (const auto& bucket : in_flight_) {
       flying += static_cast<std::int64_t>(bucket.size());
     }
-    check::audit_cell_conservation(audit_injected_, cells_delivered_, queued,
-                                   flying, fo_.cells_dropped);
+    check::audit_cell_conservation(c_injected_->value(),
+                                   c_delivered_->value(), queued, flying,
+                                   c_dropped_->value());
   });
 
   // Reorder buffers of in-progress flows stay structurally consistent.
@@ -205,6 +268,9 @@ void SiriusSim::register_auditors() {
 void SiriusSim::finish_flow(FlowId flow, Time completion) {
   const auto& f = workload_.flows[static_cast<std::size_t>(flow)];
   fct_.record(f.size, completion - f.arrival);
+  if (hub_->metrics_enabled()) {
+    h_fct_us_->add((completion - f.arrival).to_us());
+  }
   completions_[static_cast<std::size_t>(flow)] = completion;
   --flows_remaining_;
 }
@@ -213,7 +279,7 @@ void SiriusSim::abort_rx_flow(FlowId flow) {
   auto& rxp = rx_[static_cast<std::size_t>(flow)];
   if (rxp == nullptr || rxp->aborted || rxp->reorder.complete()) return;
   rxp->aborted = true;
-  ++fo_.flows_aborted;
+  c_flows_aborted_->inc();
   --flows_remaining_;
 }
 
@@ -227,13 +293,17 @@ void SiriusSim::deliver(const node::Cell& cell, Time now) {
     if (rx.aborted) {
       // An endpoint rack died; the flow is accounted as aborted and every
       // straggler cell is an explicit drop.
-      ++fo_.cells_dropped;
+      c_dropped_->inc();
+      SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, cell.dst_node,
+                        kInvalidNode, cell.dst_node, cell.flow, cell.seq);
       return;
     }
     if (rx.reorder.received(cell.seq)) {
       // The original made it after all: the retransmitted copy is spurious.
-      ++fo_.duplicates_discarded;
-      ++fo_.cells_dropped;
+      c_duplicates_->inc();
+      c_dropped_->inc();
+      SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, cell.dst_node,
+                        kInvalidNode, cell.dst_node, cell.flow, cell.seq);
       return;
     }
   }
@@ -249,7 +319,10 @@ void SiriusSim::deliver(const node::Cell& cell, Time now) {
   if (recovery_) {
     recovery_->deliver(delivered_at, DataSize::bytes(cell.payload_bytes));
   }
-  ++cells_delivered_;
+  c_delivered_->inc();
+  SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDeliver, delivered_at,
+                    cell.dst_node, kInvalidNode, cell.dst_node, cell.flow,
+                    cell.seq);
 
   rx.reorder.on_arrival(cell.seq, cell.payload_bytes);
   if (rx.reorder.complete() && rx.completion.is_infinite()) {
@@ -281,7 +354,7 @@ void SiriusSim::inject_arrivals(Time now) {
                                0);
     if (!sched_.is_member(src_rack) || !sched_.is_member(dst_rack) ||
         endpoint_dead) {
-      ++rejected_flows_;
+      c_rejected_flows_->inc();
       --flows_remaining_;
       ++next_flow_;
       continue;
@@ -330,6 +403,8 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
     auto grants = inter.cc().issue_grants(
         [&inter](NodeId dst) { return inter.fq_depth(dst); }, rng_);
     for (const cc::Grant& g : grants) {
+      SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kGrant, now,
+                        g.intermediate, g.to, g.dst, FlowId{-1}, -1);
       if (faults_active_ && truth_down_[static_cast<std::size_t>(g.to)] != 0) {
         // The grant burst towards a fail-stopped source is lost. The real
         // protocol would leak this outstanding token until a grant timeout;
@@ -337,7 +412,7 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
         // detector excludes the source within miss_threshold rounds) stays
         // out of the ledger.
         inter.cc().on_grant_release(g.dst);
-        ++stat_released_;
+        c_released_->inc();
         continue;
       }
       auto& src = nodes_[static_cast<std::size_t>(g.to)];
@@ -347,11 +422,16 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
         // Retransmitted cells re-entered the ledger when they were
         // resurrected (expire_retx_timers); only fresh LOCAL cells are new
         // injections.
-        if (!from_retx) ++audit_injected_;
+        if (!from_retx) {
+          c_injected_->inc();
+          SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kInject, now, g.to,
+                            g.intermediate, cell->dst_node, cell->flow,
+                            cell->seq);
+        }
         src.push_vq(g.intermediate, *cell);
       } else {
         inter.cc().on_grant_release(g.dst);
-        ++stat_released_;
+        c_released_->inc();
       }
     }
   }
@@ -381,7 +461,9 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
     for (const auto& req :
          src.cc().build_requests(pending, round, rng_, vq_has_room,
                                  relay_ok)) {
-      ++stat_requests_;
+      c_requests_->inc();
+      SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kRequest, now, src.self(),
+                        req.intermediate, req.dst, FlowId{-1}, -1);
       if (faults_active_ &&
           (truth_down_[static_cast<std::size_t>(req.intermediate)] != 0 ||
            !sched_.is_member(req.intermediate))) {
@@ -403,7 +485,10 @@ void SiriusSim::land_arrivals(std::int64_t slot, Time now) {
           !sched_.is_member(a.to)) {
         // The receiver fail-stopped (or was deprovisioned) while the cell
         // was on the fiber.
-        ++fo_.cells_dropped;
+        c_dropped_->inc();
+        SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, a.to,
+                          kInvalidNode, a.cell.dst_node, a.cell.flow,
+                          a.cell.seq);
         continue;
       }
       if (a.cell.dst_node != a.to &&
@@ -413,7 +498,10 @@ void SiriusSim::land_arrivals(std::int64_t slot, Time now) {
         // Relay refusal: this intermediate believes the destination is
         // gone, so queueing the cell would blackhole it. The source's
         // retransmission timer (or flow abort) owns recovery.
-        ++fo_.cells_dropped;
+        c_dropped_->inc();
+        SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, a.to,
+                          kInvalidNode, a.cell.dst_node, a.cell.flow,
+                          a.cell.seq);
         continue;
       }
     }
@@ -426,6 +514,9 @@ void SiriusSim::land_arrivals(std::int64_t slot, Time now) {
       // transmit_slot): in-flight cells are on the wire, not in the queue
       // that Q bounds.
       nodes_[static_cast<std::size_t>(a.to)].push_fq(a.cell.dst_node, a.cell);
+      SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kRelayEnqueue, now, a.to,
+                        kInvalidNode, a.cell.dst_node, a.cell.flow,
+                        a.cell.seq);
     }
   }
   bucket.clear();
@@ -475,9 +566,11 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
       if (cfg_.routing == RoutingMode::kDirect) {
         // Direct-only: pull the next pending cell addressed to p, if any.
         if (auto cell = n.take_cell_for(p, now, nic_cell_time_)) {
-          ++audit_injected_;
+          c_injected_->inc();
           in_flight_[land_slot].push_back(Arrival{*cell, p});
-          ++stat_tx_first_;
+          c_tx_first_->inc();
+          SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kFirstHopTx, now, s,
+                            p, cell->dst_node, cell->flow, cell->seq);
         }
         continue;
       }
@@ -498,17 +591,23 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
       // Relay traffic first: it is older and its queue bound must drain.
       if (auto cell = n.pop_fq(p)) {
         if (lost) {
-          ++fo_.cells_dropped;
+          c_dropped_->inc();
+          SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, s, p,
+                            cell->dst_node, cell->flow, cell->seq);
         } else {
           in_flight_[land_slot].push_back(Arrival{*cell, p});
-          ++stat_tx_relay_;
+          c_tx_relay_->inc();
+          SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kRelayDequeue, now, s,
+                            p, cell->dst_node, cell->flow, cell->seq);
         }
         continue;
       }
       if (cfg_.ideal) {
         if (auto cell = n.take_any_cell(now, nic_cell_time_)) {
-          ++audit_injected_;
+          c_injected_->inc();
           in_flight_[land_slot].push_back(Arrival{*cell, p});
+          SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kFirstHopTx, now, s,
+                            p, cell->dst_node, cell->flow, cell->seq);
         }
       } else if (auto cell = n.pop_vq(p)) {
         // The retransmission timer starts now — when the cell leaves the
@@ -531,10 +630,14 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
               cell->dst_node);
         }
         if (lost) {
-          ++fo_.cells_dropped;
+          c_dropped_->inc();
+          SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, s, p,
+                            cell->dst_node, cell->flow, cell->seq);
         } else {
           in_flight_[land_slot].push_back(Arrival{*cell, p});
-          ++stat_tx_first_;
+          c_tx_first_->inc();
+          SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kFirstHopTx, now, s,
+                            p, cell->dst_node, cell->flow, cell->seq);
         }
       }
     }
@@ -547,7 +650,7 @@ void SiriusSim::arm_retx_timer(const node::Cell& cell, NodeId src,
   std::push_heap(retx_heap_.begin(), retx_heap_.end(), &SiriusSim::timer_later);
 }
 
-void SiriusSim::expire_retx_timers(std::int64_t round) {
+void SiriusSim::expire_retx_timers(std::int64_t round, Time now) {
   while (!retx_heap_.empty() && retx_heap_.front().deadline_round <= round) {
     std::pop_heap(retx_heap_.begin(), retx_heap_.end(),
                   &SiriusSim::timer_later);
@@ -564,7 +667,7 @@ void SiriusSim::expire_retx_timers(std::int64_t round) {
     }
     if (t.cell.retries >= cfg_.retry_limit) {
       // Give up: the flow cannot complete without this cell.
-      ++fo_.retx_abandoned;
+      c_retx_abandoned_->inc();
       abort_rx_flow(t.cell.flow);
       continue;
     }
@@ -573,16 +676,25 @@ void SiriusSim::expire_retx_timers(std::int64_t round) {
     nodes_[static_cast<std::size_t>(t.src)].push_retx(c);
     // The original copy left the ledger as a drop; the resurrected copy
     // re-enters it as a fresh injection sitting in the retx queue.
-    ++audit_injected_;
-    ++fo_.cells_retransmitted;
+    c_injected_->inc();
+    c_retx_->inc();
+    SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kRetransmit, now, t.src,
+                      kInvalidNode, c.dst_node, c.flow, c.seq);
   }
 }
 
-void SiriusSim::apply_rack_death(NodeId rack, std::int64_t round) {
+void SiriusSim::apply_rack_death(NodeId rack, std::int64_t round, Time now) {
   (void)round;
   auto& n = nodes_[static_cast<std::size_t>(rack)];
   // The rack's buffers die with it.
-  fo_.cells_dropped += n.purge_all_queues();
+  const std::int64_t purged = n.purge_all_queues();
+  c_dropped_->inc(purged);
+  if (purged > 0) {
+    // Aggregate drop: flow < 0, seq carries the purge count.
+    SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, rack,
+                      kInvalidNode, kInvalidNode, FlowId{-1},
+                      static_cast<std::int32_t>(purged));
+  }
   n.cc().clear_protocol_state();
   n.abort_flows_where([](const node::LocalFlow&) { return true; });
   // Every incomplete flow with an endpoint in the rack is lost: tx-side
@@ -596,7 +708,8 @@ void SiriusSim::apply_rack_death(NodeId rack, std::int64_t round) {
   }
 }
 
-void SiriusSim::sync_exclusions(NodeId observer, std::int64_t round) {
+void SiriusSim::sync_exclusions(NodeId observer, std::int64_t round,
+                                Time now) {
   (void)round;
   auto& n = nodes_[static_cast<std::size_t>(observer)];
   const auto& view = views_[static_cast<std::size_t>(observer)];
@@ -609,12 +722,18 @@ void SiriusSim::sync_exclusions(NodeId observer, std::int64_t round) {
       // Queued cells *to* d are unrecoverable from here: drop them, and
       // release the grant of every purged VQ cell at its — alive —
       // intermediate so the relay's accounting stays exact.
-      fo_.cells_dropped += n.purge_dst(d, [this, d](NodeId inter) {
+      const std::int64_t purged = n.purge_dst(d, [this, d](NodeId inter) {
         if (truth_down_[static_cast<std::size_t>(inter)] == 0) {
           nodes_[static_cast<std::size_t>(inter)].cc().on_grant_release(d);
-          ++stat_released_;
+          c_released_->inc();
         }
       });
+      c_dropped_->inc(purged);
+      if (purged > 0) {
+        SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, observer,
+                          kInvalidNode, d, FlowId{-1},
+                          static_cast<std::int32_t>(purged));
+      }
       // Cells waiting in the VQ towards d (granted by d as the relay, but
       // not yet transmitted) still belong to this source: re-route them
       // through the retransmission queue instead of dropping — no timer
@@ -626,7 +745,7 @@ void SiriusSim::sync_exclusions(NodeId observer, std::int64_t round) {
         if (truth_down_[static_cast<std::size_t>(d)] == 0) {
           nodes_[static_cast<std::size_t>(d)].cc().on_grant_release(
               c->dst_node);
-          ++stat_released_;
+          c_released_->inc();
         }
         n.push_retx(*c);
       }
@@ -655,7 +774,7 @@ void SiriusSim::swap_schedule(std::vector<NodeId> members, std::int64_t round,
       audit_flight_rounds_,
       static_cast<std::int32_t>((prop_slots_ + sched_.slots_per_round() - 1) /
                                 sched_.slots_per_round()));
-  ++fo_.schedule_swaps;
+  c_swaps_->inc();
 }
 
 void SiriusSim::rejoin_rack(NodeId rack, std::int64_t slot,
@@ -720,7 +839,7 @@ void SiriusSim::round_boundary_failover(std::int64_t round, std::int64_t slot,
     const bool down = plan_.rack_down(r, probe);
     if (down && truth_down_[static_cast<std::size_t>(r)] == 0) {
       truth_down_[static_cast<std::size_t>(r)] = 1;
-      apply_rack_death(r, round);
+      apply_rack_death(r, round, now);
     } else if (!down && truth_down_[static_cast<std::size_t>(r)] != 0) {
       // Powered back on; rejoins the schedule below once the plan's
       // recovery time has passed.
@@ -729,7 +848,7 @@ void SiriusSim::round_boundary_failover(std::int64_t round, std::int64_t slot,
   }
 
   // 2. Retransmission timeouts resurrect lost granted cells.
-  expire_retx_timers(round);
+  expire_retx_timers(round, now);
 
   // 3. Every alive member acts on its merged view: exclude newly convicted
   // nodes (and purge the queues that reference them), re-admit cleared
@@ -738,7 +857,7 @@ void SiriusSim::round_boundary_failover(std::int64_t round, std::int64_t slot,
     if (truth_down_[static_cast<std::size_t>(n)] != 0 || !sched_.is_member(n)) {
       continue;
     }
-    sync_exclusions(n, round);
+    sync_exclusions(n, round, now);
   }
 
   // 3b. Dissemination latency: the first mid-run rack fault counts as
@@ -793,7 +912,13 @@ void SiriusSim::round_boundary_failover(std::int64_t round, std::int64_t slot,
       // the fabric, so its flows and queues are as dead as a crashed
       // rack's — the documented blast radius of a false conviction.
       auto& node_m = nodes_[static_cast<std::size_t>(m)];
-      fo_.cells_dropped += node_m.purge_all_queues();
+      const std::int64_t purged = node_m.purge_all_queues();
+      c_dropped_->inc(purged);
+      if (purged > 0) {
+        SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kDrop, now, m,
+                          kInvalidNode, kInvalidNode, FlowId{-1},
+                          static_cast<std::int32_t>(purged));
+      }
       node_m.cc().clear_protocol_state();
       for (const FlowId id : node_m.abort_flows_where(
                [](const node::LocalFlow&) { return true; })) {
@@ -830,6 +955,7 @@ SiriusSimResult SiriusSim::run() {
 
   std::int64_t slot = 0;
   for (; flows_remaining_ > 0 && slot < hard_stop; ++slot) {
+    SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kSlotLoop);
     const Time now = cfg_.slots.slot_start(slot);
     if ((slot - round_base_slot_) % sched_.slots_per_round() == 0) {
       const std::int64_t round = round_of_slot(slot);
@@ -837,19 +963,42 @@ SiriusSimResult SiriusSim::run() {
       // issuance so no grant references a queue that is about to vanish.
       // A swap rebases the round phase at this very slot, so the round
       // index is stable across it.
-      if (faults_active_) round_boundary_failover(round, slot, now);
-      epoch_boundary(round, now);
+      if (faults_active_) {
+        SIRIUS_PROFILE_SCOPE(hub_->profiler(),
+                             telemetry::ProfScope::kFailover);
+        round_boundary_failover(round, slot, now);
+      }
+      {
+        SIRIUS_PROFILE_SCOPE(hub_->profiler(),
+                             telemetry::ProfScope::kEpochCc);
+        epoch_boundary(round, now);
+      }
       // Audit between phases, where the ledger is consistent: cells are
       // delivered, queued, or in an in_flight_ bucket, never mid-move.
       if (cfg_.audit_period_rounds > 0 &&
           round % cfg_.audit_period_rounds == 0) {
+        SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kAudit);
         audit_slot_ = slot - round_base_slot_;
         auditors_.run_all();
       }
+      // Export cadence rides the round boundary: refresh gauges, then let
+      // the sampler decide whether a row is due. Reads sim state, never
+      // writes it.
+      if (hub_->metrics_enabled()) {
+        update_gauges();
+        hub_->maybe_sample(now);
+      }
     }
-    inject_arrivals(now);
-    land_arrivals(slot, now);
-    transmit_slot(slot, now);
+    {
+      SIRIUS_PROFILE_SCOPE(hub_->profiler(),
+                           telemetry::ProfScope::kLandInject);
+      inject_arrivals(now);
+      land_arrivals(slot, now);
+    }
+    {
+      SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kTransmit);
+      transmit_slot(slot, now);
+    }
   }
   // Land whatever is still in flight so delivery stats are complete.
   for (std::int64_t k = 0; k <= prop_slots_ && flows_remaining_ > 0; ++k) {
@@ -858,6 +1007,13 @@ SiriusSimResult SiriusSim::run() {
   if (cfg_.audit_period_rounds > 0) {
     audit_slot_ = slot - round_base_slot_;
     auditors_.run_all();
+  }
+
+  // Close out the export: final gauge refresh plus one unconditional row
+  // so the series always covers the full run.
+  if (hub_->metrics_enabled()) {
+    update_gauges();
+    hub_->sample(cfg_.slots.slot_start(slot));
   }
 
   SiriusSimResult r;
@@ -869,19 +1025,27 @@ SiriusSimResult SiriusSim::run() {
   }
   r.worst_reorder_peak_kb = reorder_peaks_.worst_peak().in_kb();
   r.slots_simulated = slot;
-  r.cells_delivered = cells_delivered_;
+  r.cells_delivered = c_delivered_->value();
   r.incomplete_flows = flows_remaining_;
-  r.rejected_flows = rejected_flows_;
+  r.rejected_flows = c_rejected_flows_->value();
   r.sim_end = cfg_.slots.slot_start(slot);
   r.per_flow_completion = std::move(completions_);
-  r.requests_sent = stat_requests_;
-  r.grants_released = stat_released_;
-  r.slots_tx_relay = stat_tx_relay_;
-  r.slots_tx_first = stat_tx_first_;
+  r.requests_sent = c_requests_->value();
+  r.grants_released = c_released_->value();
+  r.slots_tx_relay = c_tx_relay_->value();
+  r.slots_tx_first = c_tx_first_->value();
   for (const auto& n : nodes_) {
     r.grants_issued += n.cc().stat_grants_issued();
     r.grants_denied_q += n.cc().stat_denied_queue_bound();
   }
+  // FailoverStats keeps its public shape; the counter-backed fields are
+  // snapshotted from the registry here.
+  fo_.cells_dropped = c_dropped_->value();
+  fo_.cells_retransmitted = c_retx_->value();
+  fo_.retx_abandoned = c_retx_abandoned_->value();
+  fo_.duplicates_discarded = c_duplicates_->value();
+  fo_.flows_aborted = c_flows_aborted_->value();
+  fo_.schedule_swaps = c_swaps_->value();
   if (detect_round_ >= 0 && fault_round_ >= 0) {
     fo_.detection_rounds = detect_round_ - fault_round_;
     Time lat = detect_time_ - fault_time_;

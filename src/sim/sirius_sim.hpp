@@ -36,6 +36,7 @@
 #include "stats/goodput.hpp"
 #include "stats/occupancy.hpp"
 #include "stats/recovery.hpp"
+#include "telemetry/hub.hpp"
 #include "workload/flow.hpp"
 
 namespace sirius::sim {
@@ -117,6 +118,13 @@ struct SiriusSimConfig {
   /// disruption into FailoverStats::recovery.
   bool record_recovery_curve = false;
   Time recovery_bin = Time::us(2);
+  /// Telemetry sink (metrics export, cell tracing, flight recorder,
+  /// profiling) — see src/telemetry/. Null means the sim owns a private
+  /// disabled hub: the counters still count (they back SiriusSimResult)
+  /// but nothing is recorded and no file is written. The hub is strictly
+  /// write-only from the sim's point of view, so results are bit-identical
+  /// with telemetry attached, detached, or compiled out.
+  telemetry::Hub* telemetry = nullptr;
 
   [[nodiscard]] std::int32_t servers() const { return racks * servers_per_rack; }
   [[nodiscard]] std::int32_t uplinks() const {
@@ -222,6 +230,8 @@ class SiriusSim {
   }
 
   void register_auditors();
+  void bind_metrics();
+  void update_gauges();
   void epoch_boundary(std::int64_t round, Time now);
   void inject_arrivals(Time now);
   void land_arrivals(std::int64_t slot, Time now);
@@ -239,9 +249,9 @@ class SiriusSim {
   /// sync, schedule swap, administrative rejoin, latency stats.
   void round_boundary_failover(std::int64_t round, std::int64_t slot,
                                Time now);
-  void apply_rack_death(NodeId rack, std::int64_t round);
-  void sync_exclusions(NodeId observer, std::int64_t round);
-  void expire_retx_timers(std::int64_t round);
+  void apply_rack_death(NodeId rack, std::int64_t round, Time now);
+  void sync_exclusions(NodeId observer, std::int64_t round, Time now);
+  void expire_retx_timers(std::int64_t round, Time now);
   void swap_schedule(std::vector<NodeId> members, std::int64_t round,
                      std::int64_t slot);
   void rejoin_rack(NodeId rack, std::int64_t slot, std::int64_t round);
@@ -276,15 +286,39 @@ class SiriusSim {
   stats::OccupancyAggregator reorder_peaks_;
   std::vector<Time> completions_;
   check::AuditorRegistry auditors_;
-  std::int64_t audit_injected_ = 0;  // cells taken out of any LOCAL buffer
   std::int64_t audit_slot_ = 0;      // schedule-relative slot for the
                                      // permutation auditor
-  std::int64_t cells_delivered_ = 0;
-  std::int64_t rejected_flows_ = 0;
-  std::int64_t stat_requests_ = 0;
-  std::int64_t stat_released_ = 0;
-  std::int64_t stat_tx_relay_ = 0;
-  std::int64_t stat_tx_first_ = 0;
+
+  // ---- telemetry spine --------------------------------------------------
+  // The sim's cumulative statistics live as named counters in the hub's
+  // registry (bound once in bind_metrics(), bumped through the pointers).
+  // A null SiriusSimConfig::telemetry gets `own_hub_`, a disabled hub whose
+  // registry still backs SiriusSimResult.
+  std::unique_ptr<telemetry::Hub> own_hub_;
+  telemetry::Hub* hub_ = nullptr;
+  telemetry::Counter* c_injected_ = nullptr;   // cells out of any LOCAL buffer
+  telemetry::Counter* c_delivered_ = nullptr;
+  telemetry::Counter* c_rejected_flows_ = nullptr;
+  telemetry::Counter* c_requests_ = nullptr;
+  telemetry::Counter* c_released_ = nullptr;
+  telemetry::Counter* c_tx_first_ = nullptr;
+  telemetry::Counter* c_tx_relay_ = nullptr;
+  telemetry::Counter* c_dropped_ = nullptr;
+  telemetry::Counter* c_retx_ = nullptr;
+  telemetry::Counter* c_retx_abandoned_ = nullptr;
+  telemetry::Counter* c_duplicates_ = nullptr;
+  telemetry::Counter* c_flows_aborted_ = nullptr;
+  telemetry::Counter* c_swaps_ = nullptr;
+  telemetry::Gauge* g_flows_remaining_ = nullptr;
+  telemetry::Gauge* g_queue_worst_kb_ = nullptr;
+  telemetry::Gauge* g_retx_pending_ = nullptr;
+  telemetry::Gauge* g_members_ = nullptr;
+  telemetry::Gauge* g_requests_received_ = nullptr;
+  telemetry::Gauge* g_grants_issued_ = nullptr;
+  telemetry::Gauge* g_grants_denied_ = nullptr;
+  telemetry::Gauge* g_detector_misses_ = nullptr;
+  telemetry::Gauge* g_detector_declared_ = nullptr;
+  Histogram* h_fct_us_ = nullptr;
 
   // ---- §4.5 failover state ----------------------------------------------
   bool faults_active_ = false;          // dynamic plan: in-band machinery on

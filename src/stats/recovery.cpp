@@ -8,32 +8,28 @@ namespace sirius::stats {
 
 RecoveryMeter::RecoveryMeter(std::int32_t servers, DataRate server_rate,
                              Time bin)
-    : servers_(servers), server_rate_(server_rate), bin_(bin) {
+    : servers_(servers), server_rate_(server_rate), bin_(bin), series_(bin) {
   SIRIUS_INVARIANT(servers >= 1, "RecoveryMeter needs >= 1 server, got %d",
                    servers);
   SIRIUS_INVARIANT(bin > Time::zero(), "RecoveryMeter bin must be positive");
 }
 
 void RecoveryMeter::deliver(Time now, DataSize bytes) {
-  if (now < Time::zero()) return;
-  const auto i = static_cast<std::size_t>(now / bin_);
-  if (bytes_.size() <= i) bytes_.resize(i + 1, 0);
-  bytes_[i] += bytes.in_bytes();
+  series_.add(now, static_cast<double>(bytes.in_bytes()));
 }
 
 std::vector<RecoveryBin> RecoveryMeter::curve() const {
+  const std::vector<double>& per_bin = series_.bins();
   std::vector<RecoveryBin> out;
-  out.reserve(bytes_.size());
+  out.reserve(per_bin.size());
   const double capacity_bits =
       static_cast<double>(server_rate_.bits_per_sec()) * servers_ *
       bin_.to_sec();
-  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+  for (std::size_t i = 0; i < per_bin.size(); ++i) {
     RecoveryBin b;
-    b.start = bin_ * static_cast<std::int64_t>(i);
+    b.start = series_.bin_start(i);
     b.goodput_normalized =
-        capacity_bits > 0.0
-            ? static_cast<double>(bytes_[i]) * 8.0 / capacity_bits
-            : 0.0;
+        capacity_bits > 0.0 ? per_bin[i] * 8.0 / capacity_bits : 0.0;
     out.push_back(b);
   }
   return out;

@@ -15,6 +15,7 @@
 
 #include "common/time.hpp"
 #include "common/units.hpp"
+#include "telemetry/series.hpp"
 
 namespace sirius::stats {
 
@@ -64,11 +65,17 @@ class RecoveryMeter {
 
   [[nodiscard]] Time bin() const { return bin_; }
 
+  /// The underlying delivered-bytes series (telemetry spine); curve() is a
+  /// normalised view of exactly these bins.
+  [[nodiscard]] const telemetry::BinnedSeries& series() const {
+    return series_;
+  }
+
  private:
   std::int32_t servers_;
   DataRate server_rate_;
   Time bin_;
-  std::vector<std::int64_t> bytes_;  // per bin
+  telemetry::BinnedSeries series_;  // delivered bytes per bin
 };
 
 }  // namespace sirius::stats

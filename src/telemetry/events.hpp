@@ -1,0 +1,46 @@
+// Cell-lifecycle event vocabulary shared by the tracer and the flight
+// recorder.
+//
+// One record per observable step in a cell's life through the fabric:
+// request/grant negotiation, first-hop transmission towards the Valiant
+// intermediate, relay enqueue/dequeue, delivery, and the failure paths
+// (drop, retransmit). Records carry only sim state — emitting them never
+// perturbs simulation behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sirius::telemetry {
+
+enum class CellEvent : std::uint8_t {
+  kInject,        ///< cell left a LOCAL buffer under a grant
+  kRequest,       ///< request burst sent to an intermediate
+  kGrant,         ///< intermediate issued a grant
+  kFirstHopTx,    ///< granted cell launched towards the intermediate
+  kRelayEnqueue,  ///< cell landed at the intermediate's forward queue
+  kRelayDequeue,  ///< relay transmission towards the destination
+  kDeliver,       ///< cell handed to the destination server
+  kDrop,          ///< explicit drop (fault paths; seq < 0 aggregates)
+  kRetransmit,    ///< retx timer resurrected a lost cell
+};
+
+[[nodiscard]] const char* cell_event_name(CellEvent e);
+
+/// One structured event. `flow`/`seq` are negative for events that are not
+/// tied to a single cell (requests, grants, aggregate purge drops — for
+/// those `seq` may carry a count instead). `peer` is the other end of the
+/// transfer when there is one, `dst` the cell's final destination rack.
+struct CellEventRecord {
+  Time at;
+  FlowId flow = -1;
+  NodeId node = 0;
+  NodeId peer = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::int32_t seq = -1;
+  CellEvent event = CellEvent::kInject;
+};
+
+}  // namespace sirius::telemetry

@@ -1,0 +1,51 @@
+// Flight recorder: a bounded ring of recent cell-lifecycle events per
+// node, dumped automatically when a SIRIUS_INVARIANT fails.
+//
+// The conservation/queue-bound auditors tell you *that* a property broke;
+// the flight recorder tells you what the fabric was doing just before. It
+// records every event (no sampling — the rings bound memory instead) and
+// registers itself as the InvariantContext failure hook, so the dump lands
+// on stderr next to the invariant report in both abort and collect modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace sirius::telemetry {
+
+class FlightRecorder {
+ public:
+  /// Enables the recorder with one ring of `depth` events per node.
+  void configure(std::int32_t nodes, std::int32_t depth);
+
+  [[nodiscard]] bool enabled() const { return depth_ > 0; }
+  [[nodiscard]] std::int32_t depth() const { return depth_; }
+
+  void record(const CellEventRecord& r);
+
+  /// All retained events, per node, oldest first.
+  [[nodiscard]] std::string dump() const;
+
+  /// The invariant hook body: snapshots dump() and writes it to stderr.
+  /// Re-entrancy safe (a violation raised while dumping is not recursed
+  /// into).
+  void on_invariant_failure();
+
+  [[nodiscard]] std::int64_t dumps() const { return dumps_; }
+  [[nodiscard]] const std::string& last_dump() const { return last_dump_; }
+
+ private:
+  std::int32_t depth_ = 0;
+  std::vector<std::vector<CellEventRecord>> rings_;  // per node, capacity
+                                                     // depth_
+  std::vector<std::size_t> next_;   // ring write cursor per node
+  std::vector<std::int64_t> seen_;  // events ever recorded per node
+  std::int64_t dumps_ = 0;
+  std::string last_dump_;
+  bool dumping_ = false;
+};
+
+}  // namespace sirius::telemetry

@@ -1,0 +1,63 @@
+#include "telemetry/manifest.hpp"
+
+#include <fstream>
+
+namespace sirius::telemetry {
+
+JsonObject& Manifest::section(const std::string& name) {
+  for (auto& [key, obj] : sections_) {
+    if (key == name) return obj;
+  }
+  sections_.emplace_back(name, JsonObject{});
+  return sections_.back().second;
+}
+
+std::string Manifest::build_info_json() {
+  JsonObject b;
+  add_build_info(b);
+  return b.str();
+}
+
+void Manifest::add_build_info(JsonObject& b) {
+#if defined(__VERSION__)
+  b.add("compiler", __VERSION__);
+#else
+  b.add("compiler", "unknown");
+#endif
+  b.add_int("cxx_standard", static_cast<std::int64_t>(__cplusplus));
+#if defined(SIRIUS_AUDIT)
+  b.add_bool("sirius_audit", true);
+#else
+  b.add_bool("sirius_audit", false);
+#endif
+#if defined(SIRIUS_TELEMETRY)
+  b.add_bool("sirius_telemetry", true);
+#else
+  b.add_bool("sirius_telemetry", false);
+#endif
+#if defined(NDEBUG)
+  b.add_bool("ndebug", true);
+#else
+  b.add_bool("ndebug", false);
+#endif
+}
+
+std::string Manifest::to_json() const {
+  std::string out = "{\n  \"schema\": \"";
+  out += kSchema;
+  out += "\"";
+  for (const auto& [key, obj] : sections_) {
+    out += ",\n  \"" + json_escape(key) + "\": " + obj.str();
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool Manifest::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace sirius::telemetry

@@ -1,0 +1,38 @@
+// Run manifest: one JSON artifact that makes a run self-describing.
+//
+// A bench result without its exact configuration is unreproducible noise;
+// the manifest captures, in one file next to the metrics/trace artifacts:
+// the schema version, build flags, the full simulator config, the seed,
+// the fault plan, final stats and the paths of every sibling artifact.
+// Section and key order is insertion order, so manifests diff cleanly
+// between runs.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace sirius::telemetry {
+
+class Manifest {
+ public:
+  static constexpr const char* kSchema = "sirius.run.v1";
+
+  /// Get-or-create a named top-level section, in insertion order.
+  JsonObject& section(const std::string& name);
+
+  /// Compiler / build-flag fingerprint ("build" section content).
+  [[nodiscard]] static std::string build_info_json();
+  /// Same fingerprint appended field-by-field into an existing section.
+  static void add_build_info(JsonObject& out);
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, JsonObject>> sections_;
+};
+
+}  // namespace sirius::telemetry

@@ -1,0 +1,143 @@
+#include "telemetry/metrics.hpp"
+
+#include <fstream>
+
+#include "check/invariant.hpp"
+#include "telemetry/json.hpp"
+
+namespace sirius::telemetry {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return counters_[it->second];
+  counter_index_.emplace(name, counters_.size());
+  counter_names_.push_back(name);
+  counters_.emplace_back();
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return gauges_[it->second];
+  gauge_index_.emplace(name, gauges_.size());
+  gauge_names_.push_back(name);
+  gauges_.emplace_back();
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return histograms_[it->second];
+  histogram_index_.emplace(name, histograms_.size());
+  histogram_names_.push_back(name);
+  histograms_.emplace_back(lo, hi, bins);
+  return histograms_.back();
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? nullptr : &counters_[it->second];
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauge_index_.find(name);
+  return it == gauge_index_.end() ? nullptr : &gauges_[it->second];
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histogram_index_.find(name);
+  return it == histogram_index_.end() ? nullptr : &histograms_[it->second];
+}
+
+std::vector<std::string> MetricsRegistry::series_names() const {
+  std::vector<std::string> out = counter_names_;
+  out.insert(out.end(), gauge_names_.begin(), gauge_names_.end());
+  return out;
+}
+
+std::vector<double> MetricsRegistry::series_values() const {
+  std::vector<double> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const Counter& c : counters_) {
+    out.push_back(static_cast<double>(c.value()));
+  }
+  for (const Gauge& g : gauges_) out.push_back(g.value());
+  return out;
+}
+
+std::string MetricsRegistry::histograms_json() const {
+  JsonObject all;
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    const Histogram& h = histograms_[i];
+    JsonObject one;
+    one.add_int("count", static_cast<std::int64_t>(h.total()));
+    one.add_num("p50", h.percentile(50.0));
+    one.add_num("p90", h.percentile(90.0));
+    one.add_num("p99", h.percentile(99.0));
+    all.add_raw(histogram_names_[i], one.str());
+  }
+  return all.str();
+}
+
+void TimeSeriesSampler::configure(const MetricsRegistry* registry,
+                                  Time every) {
+  SIRIUS_INVARIANT(every > Time::zero(),
+                   "metrics sampling cadence must be positive");
+  if (every <= Time::zero()) return;
+  registry_ = registry;
+  every_ = every;
+  next_ = Time::zero();
+}
+
+void TimeSeriesSampler::maybe_sample(Time now) {
+  if (registry_ == nullptr || now < next_) return;
+  sample(now);
+  next_ = now + every_;
+}
+
+void TimeSeriesSampler::sample(Time now) {
+  if (registry_ == nullptr) return;
+  if (!columns_locked_) {
+    columns_ = registry_->series_names();
+    columns_locked_ = true;
+  }
+  Row row;
+  row.at = now;
+  row.values = registry_->series_values();
+  // Metrics registered after the first sample would misalign the columns;
+  // truncate to the locked set (producers register before the run starts).
+  if (row.values.size() > columns_.size()) row.values.resize(columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+bool TimeSeriesSampler::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  for (const Row& row : rows_) {
+    JsonObject o;
+    o.add_num("t_us", row.at.to_us());
+    for (std::size_t i = 0; i < row.values.size(); ++i) {
+      o.add_num(columns_[i], row.values[i]);
+    }
+    out << o.str() << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool TimeSeriesSampler::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "t_us";
+  for (const std::string& c : columns_) out << "," << c;
+  out << "\n";
+  for (const Row& row : rows_) {
+    out << json_number(row.at.to_us());
+    for (const double v : row.values) out << "," << json_number(v);
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace sirius::telemetry

@@ -1,0 +1,125 @@
+// Named metrics spine: counters, gauges and histograms, plus a sim-time
+// sampler that turns the registry into a time series.
+//
+// Every producer (the packet sim, congestion control, the failure
+// detector, the ESN baselines) registers its metrics by name in one
+// MetricsRegistry and bumps them through stable references — the lookup
+// happens once, at wiring time, so the per-event cost is an integer
+// increment whether or not any sink is attached. Export is pull-based:
+// TimeSeriesSampler snapshots the registry at a fixed simulated-time
+// cadence and writes JSONL or CSV at the end of the run.
+//
+// Determinism contract: metrics read sim state and are read by sinks; they
+// never feed back into simulation decisions, RNG streams or event order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/time.hpp"
+
+namespace sirius::telemetry {
+
+/// Monotonically increasing integer metric (events, cells, drops).
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { v_ += n; }
+  [[nodiscard]] std::int64_t value() const { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Last-write-wins scalar metric (queue depths, active flows).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Name -> metric table. References returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (deque storage), so
+/// producers bind once and increment through the pointer afterwards.
+class MetricsRegistry {
+ public:
+  /// Get-or-create; one object per name, shared by all callers.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Get-or-create; the (lo, hi, bins) geometry is fixed by the first call.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Scalar series columns in registration order: counters first, then
+  /// gauges. Histograms are exported separately (summary JSON).
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  /// Current value of every series column, aligned with series_names().
+  [[nodiscard]] std::vector<double> series_values() const;
+
+  /// Histogram summaries (count, p50/p90/p99) as one JSON object keyed by
+  /// metric name; "{}" when no histograms are registered.
+  [[nodiscard]] std::string histograms_json() const;
+
+ private:
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<std::string> counter_names_;  // registration order
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::map<std::string, std::size_t> counter_index_;
+  std::map<std::string, std::size_t> gauge_index_;
+  std::map<std::string, std::size_t> histogram_index_;
+};
+
+/// Snapshots a registry's scalar metrics on a fixed simulated-time cadence.
+/// The column set locks at the first sample; metrics registered later are
+/// not exported (producers register everything at construction time).
+class TimeSeriesSampler {
+ public:
+  /// One snapshot row: sample time plus one value per locked column.
+  struct Row {
+    Time at;
+    std::vector<double> values;
+  };
+
+  /// Disabled until configured; maybe_sample() is then a no-op.
+  void configure(const MetricsRegistry* registry, Time every);
+  [[nodiscard]] bool enabled() const { return registry_ != nullptr; }
+
+  /// Takes a row if `now` has reached the next cadence point. Driven by
+  /// simulated time only — wall clocks never decide when to sample.
+  void maybe_sample(Time now);
+  /// Takes a row unconditionally (start / end of run).
+  void sample(Time now);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+  /// One JSON object per line: {"t_us": ..., "<metric>": ..., ...}.
+  [[nodiscard]] bool write_jsonl(const std::string& path) const;
+  /// Header row then one CSV row per sample.
+  [[nodiscard]] bool write_csv(const std::string& path) const;
+
+ private:
+  const MetricsRegistry* registry_ = nullptr;
+  Time every_;
+  Time next_ = Time::zero();
+  bool columns_locked_ = false;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sirius::telemetry

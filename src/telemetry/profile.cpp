@@ -1,0 +1,62 @@
+#include "telemetry/profile.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace sirius::telemetry {
+
+const char* prof_scope_name(ProfScope s) {
+  switch (s) {
+    case ProfScope::kSlotLoop: return "slot-loop";
+    case ProfScope::kEpochCc: return "epoch-cc";
+    case ProfScope::kTransmit: return "transmit";
+    case ProfScope::kLandInject: return "land+inject";
+    case ProfScope::kFailover: return "failover";
+    case ProfScope::kAudit: return "audit";
+    case ProfScope::kEsnRates: return "esn-rates";
+    case ProfScope::kScopeCount: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t Profiler::now_nanos() {
+  // The one sanctioned wall-clock read in src/ (see the file comment in
+  // profile.hpp and the sirius-lint no-wallclock carve-out): host-side
+  // profiling only, never simulated time.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string Profiler::table() const {
+  bool any = false;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(ProfScope::kScopeCount); ++i) {
+    any = any || acc_[i].calls > 0;
+  }
+  if (!any) return "";
+
+  std::string out =
+      "profile (host wall clock)\n"
+      "  scope            calls       total_ms    mean_us     max_us\n";
+  char line[160];
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(ProfScope::kScopeCount); ++i) {
+    const ScopeStats& st = acc_[i];
+    if (st.calls == 0) continue;
+    const double total_ms = static_cast<double>(st.total_nanos) / 1e6;
+    const double mean_us = static_cast<double>(st.total_nanos) /
+                           (1e3 * static_cast<double>(st.calls));
+    const double max_us = static_cast<double>(st.max_nanos) / 1e3;
+    std::snprintf(line, sizeof line,
+                  "  %-15s %10llu %14.3f %10.3f %10.3f\n",
+                  prof_scope_name(static_cast<ProfScope>(i)),
+                  static_cast<unsigned long long>(st.calls), total_ms,
+                  mean_us, max_us);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sirius::telemetry

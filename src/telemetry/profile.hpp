@@ -1,0 +1,100 @@
+// Wall-clock profiling scopes for the simulator hot paths.
+//
+// This is the single sanctioned wall-clock island in src/ (the sirius-lint
+// `no-wallclock` rule carves out src/telemetry/profile.* and nothing
+// else): the profiler measures how long the *simulator* takes on the host,
+// strictly outside simulated time. Nothing here reads or feeds Time — a
+// profiled and an unprofiled run produce bit-identical simulation results,
+// they just burn different amounts of host CPU.
+//
+// Usage: bind a Profiler, then put SIRIUS_PROFILE_SCOPE(profiler, scope)
+// at the top of a block. Disabled profilers cost one branch; without
+// SIRIUS_TELEMETRY the macro compiles away entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sirius::telemetry {
+
+/// Fixed scope set: hot paths worth timing, stable across runs so tables
+/// are comparable.
+enum class ProfScope : std::uint8_t {
+  kSlotLoop = 0,   ///< the whole per-slot body (sirius sim)
+  kEpochCc,        ///< request/grant epoch exchange
+  kTransmit,       ///< transmit_slot: schedule walk + queue pops
+  kLandInject,     ///< landing in-flight cells + flow injection
+  kFailover,       ///< §4.5 round-boundary failover work
+  kAudit,          ///< invariant auditor sweeps
+  kEsnRates,       ///< ESN fluid max-min rate recomputation
+  kScopeCount,
+};
+
+[[nodiscard]] const char* prof_scope_name(ProfScope s);
+
+class Profiler {
+ public:
+  struct ScopeStats {
+    std::uint64_t calls = 0;
+    std::uint64_t total_nanos = 0;
+    std::uint64_t max_nanos = 0;
+  };
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void add(ProfScope s, std::uint64_t nanos) {
+    ScopeStats& st = acc_[static_cast<std::size_t>(s)];
+    ++st.calls;
+    st.total_nanos += nanos;
+    if (nanos > st.max_nanos) st.max_nanos = nanos;
+  }
+
+  [[nodiscard]] const ScopeStats& stats(ProfScope s) const {
+    return acc_[static_cast<std::size_t>(s)];
+  }
+
+  /// Monotonic host clock in nanoseconds. Defined in profile.cpp so the
+  /// steady_clock read stays inside the lint carve-out.
+  [[nodiscard]] static std::uint64_t now_nanos();
+
+  /// Human-readable end-of-run table; empty string when nothing was timed.
+  [[nodiscard]] std::string table() const;
+
+ private:
+  bool enabled_ = false;
+  ScopeStats acc_[static_cast<std::size_t>(ProfScope::kScopeCount)] = {};
+};
+
+/// RAII scope timer; reads the host clock only while the profiler is
+/// enabled.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler& p, ProfScope s)
+      : p_(p), s_(s), armed_(p.enabled()),
+        start_(armed_ ? Profiler::now_nanos() : 0) {}
+  ~ScopedTimer() {
+    if (armed_) p_.add(s_, Profiler::now_nanos() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler& p_;
+  ProfScope s_;
+  bool armed_;
+  std::uint64_t start_;
+};
+
+}  // namespace sirius::telemetry
+
+#define SIRIUS_TELEMETRY_PP_CAT2(a, b) a##b
+#define SIRIUS_TELEMETRY_PP_CAT(a, b) SIRIUS_TELEMETRY_PP_CAT2(a, b)
+
+#if defined(SIRIUS_TELEMETRY)
+#define SIRIUS_PROFILE_SCOPE(profiler, scope)                      \
+  ::sirius::telemetry::ScopedTimer SIRIUS_TELEMETRY_PP_CAT(        \
+      sirius_prof_scope_, __LINE__)((profiler), (scope))
+#else
+#define SIRIUS_PROFILE_SCOPE(profiler, scope) static_cast<void>(0)
+#endif

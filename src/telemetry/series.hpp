@@ -1,0 +1,54 @@
+// Fixed-bin time series and the ASCII strip-chart renderer.
+//
+// BinnedSeries is the storage behind every goodput-vs-time curve: values
+// accumulate into fixed-width simulated-time buckets, growing the bin
+// vector on demand. stats::RecoveryMeter (§4.5 recovery transients) sits
+// on top of it, and the failover ablation renders its curves through
+// render_strip_chart() so every bench draws the same chart the same way.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sirius::telemetry {
+
+/// Accumulates add(at, v) into per-bin sums over [0, inf), bin width fixed
+/// at construction. Negative times are ignored.
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(Time bin);
+
+  void add(Time at, double value);
+
+  [[nodiscard]] Time bin_width() const { return bin_; }
+  [[nodiscard]] const std::vector<double>& bins() const { return bins_; }
+  [[nodiscard]] std::size_t size() const { return bins_.size(); }
+  /// Start time of bin `i`.
+  [[nodiscard]] Time bin_start(std::size_t i) const;
+
+ private:
+  Time bin_;
+  std::vector<double> bins_;
+};
+
+/// One rendered strip chart: `cells` holds one glyph per column.
+struct StripChart {
+  std::string cells;
+  std::size_t stride = 1;  ///< source bins per column
+  std::size_t shown = 0;   ///< source bins rendered (after tail trim)
+};
+
+/// Renders `per_bin` values as a one-line ASCII strip chart scaled to
+/// `baseline`: '#' >= 95%, '+' >= 75%, '-' >= 50%, '.' >= 25%, ' ' below;
+/// 'X' marks any column containing `mark_bin` (pass a negative index for
+/// no marker). Trailing bins below 0.5 x baseline are trimmed first (the
+/// drain tail of a run would read as a dip), then bins are averaged into
+/// at most `max_columns` columns.
+StripChart render_strip_chart(const std::vector<double>& per_bin,
+                              double baseline, std::ptrdiff_t mark_bin,
+                              std::size_t max_columns = 100);
+
+}  // namespace sirius::telemetry

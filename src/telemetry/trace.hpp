@@ -1,0 +1,63 @@
+// Cell-lifecycle tracer: buffers CellEventRecords and writes them as
+// Chrome trace-event JSON (the "JSON Array Format" every Chromium-family
+// viewer understands — chrome://tracing, Perfetto's legacy importer, or
+// `trace_processor`).
+//
+// Layout: each rack is one "process" (pid = rack id) so Perfetto shows one
+// track per node; every event is an instant event ("ph": "i") at the
+// simulated time in microseconds, with flow/seq/peer/dst in args. File
+// size is bounded two ways: a deterministic flow-sampling filter (keep
+// flows with id % sample == 0) and a hard event cap with a dropped-count
+// in the trace metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace sirius::telemetry {
+
+class CellTracer {
+ public:
+  /// Enables the tracer: keep flows with id % `flow_sample` == 0 (1 = all)
+  /// and stop recording past `max_events` (counting the overflow).
+  void configure(std::int64_t flow_sample, std::int64_t max_events);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Sampling filter, checked before building a record. Events not tied to
+  /// a flow (negative id) are kept only when sampling is off — under
+  /// sampling the protocol chatter would dominate the file.
+  [[nodiscard]] bool wants(FlowId flow) const {
+    if (!enabled_) return false;
+    if (flow < 0) return sample_ <= 1;
+    return sample_ <= 1 || flow % sample_ == 0;
+  }
+
+  void record(const CellEventRecord& r);
+
+  [[nodiscard]] std::int64_t recorded() const {
+    return static_cast<std::int64_t>(events_.size());
+  }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::vector<CellEventRecord>& events() const {
+    return events_;
+  }
+
+  /// Writes the Chrome trace-event JSON. `nodes` bounds the per-node
+  /// process-name metadata; only nodes that actually emitted events get a
+  /// track.
+  [[nodiscard]] bool write_chrome_json(const std::string& path,
+                                       std::int32_t nodes) const;
+
+ private:
+  bool enabled_ = false;
+  std::int64_t sample_ = 1;
+  std::int64_t cap_ = 1'000'000;
+  std::int64_t dropped_ = 0;
+  std::vector<CellEventRecord> events_;
+};
+
+}  // namespace sirius::telemetry

@@ -225,6 +225,57 @@ TEST(Histogram, OutOfRangeClamped) {
   EXPECT_EQ(h.count_at(3), 1u);
 }
 
+TEST(Histogram, PercentileInterpolatesInsideBins) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i));  // 1 per bin
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);     // lower edge of first bin
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);  // upper edge of last bin
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+  // Bin-edge interpolation: p=10 consumes exactly the first bin.
+  EXPECT_DOUBLE_EQ(h.percentile(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(5.0), 0.5);
+}
+
+TEST(Histogram, PercentileOfClampedSamplesStaysInRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-100.0);  // clamped into the first bin
+  h.add(100.0);   // clamped into the last bin
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+  EXPECT_GE(h.percentile(50.0), 0.0);
+  EXPECT_LE(h.percentile(50.0), 10.0);
+}
+
+TEST(Histogram, PercentileOfEmptyHistogramIsLo) {
+  Histogram h(2.0, 8.0, 6);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 2.0);
+}
+
+TEST(Histogram, MergeAccumulatesCounts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) a.add(1.5);
+  for (int i = 0; i < 5; ++i) b.add(7.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 10u);
+  EXPECT_EQ(a.count_at(1), 5u);
+  EXPECT_EQ(a.count_at(7), 5u);
+  EXPECT_DOUBLE_EQ(a.percentile(100.0), 8.0);  // upper edge of bin 7
+}
+
+TEST(Histogram, MergeGeometryMismatchIsRejected) {
+  check::ScopedCollect collect;
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 5);  // different bin count
+  a.add(3.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(collect.violations(), 1);
+  EXPECT_EQ(a.total(), 1u);  // merge skipped on the defensive path
+}
+
 TEST(PeakTracker, TracksPeakAndMean) {
   PeakTracker p;
   p.observe(1.0);

@@ -7,12 +7,24 @@
 //                    [--trace file.csv] [--fail rack[,rack...]]
 //                    [--fault RACK@T_US[+DURATION_US][,...]]
 //                    [--grey SRC>DST@LOSS[@FROM_US-UNTIL_US][,...]]
+//                    [--metrics-out m.jsonl|m.csv] [--metrics-every-us U]
+//                    [--trace-events out.json] [--trace-sample N]
+//                    [--trace-max-events N] [--flight-recorder DEPTH]
+//                    [--manifest run.json] [--profile]
 //
 // `--fail` statically removes racks for the whole run (sugar for a fault at
 // t = 0). `--fault` and `--grey` build a §4.5 mid-run fault timeline: the
 // fabric must detect the fault in-band, reconfigure, and recover lost
 // cells; the run then also prints a failover summary (detection and
 // dissemination latency, drops, retransmissions, goodput transient).
+//
+// Telemetry (docs/OBSERVABILITY.md): `--trace` is a workload *input* (a
+// flow trace CSV); `--trace-events` is a telemetry *output* (Chrome
+// trace-event JSON, loadable in Perfetto). `--metrics-out` streams the
+// metric registry on an epoch cadence, `--manifest` writes the
+// self-describing run manifest, `--profile` prints a wall-clock table of
+// the simulator hot paths. None of these change simulation results.
+//
 //   sirius_cli gen   --out file.csv [--racks N] [--servers-per-rack N]
 //                    [--load L] [--flows N] [--seed S]
 //   sirius_cli info  [--racks N] [--servers-per-rack N] [--uplinks N]
@@ -20,10 +32,14 @@
 // `run` prints one metrics row; `gen` writes a workload trace; `info`
 // prints the derived deployment parameters (schedule geometry, epoch,
 // laser/link budget).
+//
+// Unknown options are hard errors (exit 2): a typo like `--flowss` must
+// fail loudly, not silently run the default configuration.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +47,8 @@
 #include "optical/link_budget.hpp"
 #include "sched/schedule.hpp"
 #include "sim/sirius_sim.hpp"
+#include "telemetry/hub.hpp"
+#include "telemetry/manifest.hpp"
 #include "workload/trace_io.hpp"
 
 using namespace sirius;
@@ -43,13 +61,53 @@ struct Args {
   std::map<std::string, std::string> options;
 };
 
-Args parse(int argc, char** argv) {
+// Per-command option allowlists. parse() rejects anything not listed for
+// the given command, so every accepted spelling appears exactly once here.
+const std::vector<const char*>& allowed_options(const std::string& command) {
+  static const std::vector<const char*> kRun = {
+      "system",       "racks",          "servers-per-rack",
+      "uplinks",      "load",           "flows",
+      "seed",         "q",              "guardband-ns",
+      "multiplier",   "trace",          "fail",
+      "fault",        "grey",           "metrics-out",
+      "metrics-every-us",               "trace-events",
+      "trace-sample", "trace-max-events",
+      "flight-recorder",                "manifest",
+      "profile"};
+  static const std::vector<const char*> kGen = {
+      "out", "racks", "servers-per-rack", "uplinks", "load", "flows", "seed"};
+  static const std::vector<const char*> kInfo = {
+      "racks", "servers-per-rack", "uplinks", "multiplier"};
+  static const std::vector<const char*> kNone = {};
+  if (command == "run") return kRun;
+  if (command == "gen") return kGen;
+  if (command == "info") return kInfo;
+  return kNone;
+}
+
+// Parses `<command> [--key [value]]...`, validating every option against
+// the command's allowlist. Returns nullopt (after printing the error) on
+// an unknown option or a stray positional argument.
+std::optional<Args> parse(int argc, char** argv) {
   Args a;
   if (argc >= 2) a.command = argv[1];
+  const std::vector<const char*>& allowed = allowed_options(a.command);
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", key.c_str());
+      return std::nullopt;
+    }
     key = key.substr(2);
+    bool known = false;
+    for (const char* name : allowed) known = known || key == name;
+    if (!known) {
+      std::fprintf(stderr,
+                   "error: unknown option --%s for '%s' (see the header of "
+                   "tools/sirius_cli.cpp for the option list)\n",
+                   key.c_str(), a.command.c_str());
+      return std::nullopt;
+    }
     std::string value = "1";
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       value = argv[++i];
@@ -88,10 +146,93 @@ ExperimentConfig experiment_from(const Args& a) {
   return cfg;
 }
 
+telemetry::TelemetryConfig telemetry_from(const Args& a) {
+  telemetry::TelemetryConfig tc;
+  tc.metrics_out = opt_str(a, "metrics-out", "");
+  tc.metrics_every =
+      Time::from_ns(opt_double(a, "metrics-every-us", 10.0) * 1e3);
+  tc.trace_out = opt_str(a, "trace-events", "");
+  tc.trace_flow_sample = opt_int(a, "trace-sample", 1);
+  tc.trace_max_events = opt_int(a, "trace-max-events", 1'000'000);
+  tc.flight_recorder_depth =
+      static_cast<std::int32_t>(opt_int(a, "flight-recorder", 0));
+  tc.profile = a.options.count("profile") > 0;
+  return tc;
+}
+
+// Writes the run manifest: one JSON artifact that makes the run
+// reproducible (config, seed, fault plan, build flags) and self-describing
+// (final metrics, sibling artifact paths).
+bool write_manifest(const std::string& path, const Args& a,
+                    const ExperimentConfig& cfg, const std::string& system,
+                    double load, const workload::Workload& w,
+                    const RunMetrics& m, telemetry::Hub& hub,
+                    const std::vector<telemetry::Hub::Artifact>& artifacts) {
+  telemetry::Manifest man;
+
+  telemetry::JsonObject& run = man.section("run");
+  run.add("command", "run").add("system", system);
+  run.add_num("load", load);
+  run.add_int("seed", static_cast<std::int64_t>(cfg.seed));
+
+  telemetry::Manifest::add_build_info(man.section("build"));
+
+  telemetry::JsonObject& c = man.section("config");
+  c.add_int("racks", cfg.racks)
+      .add_int("servers_per_rack", cfg.servers_per_rack)
+      .add_int("base_uplinks", cfg.base_uplinks)
+      .add_int("flows", cfg.flows)
+      .add_num("queue_limit", opt_double(a, "q", 4))
+      .add_num("guardband_ns", opt_double(a, "guardband-ns", 10.0))
+      .add_num("uplink_multiplier", opt_double(a, "multiplier", 1.5));
+
+  telemetry::JsonObject& wl = man.section("workload");
+  wl.add_int("flows", static_cast<std::int64_t>(w.flows.size()))
+      .add("total", w.total_bytes().to_string())
+      .add_num("offered_load", w.offered_load);
+  const std::string trace_in = opt_str(a, "trace", "");
+  if (!trace_in.empty()) wl.add("trace_csv", trace_in);
+
+  telemetry::JsonObject& f = man.section("faults");
+  f.add("fail", opt_str(a, "fail", ""))
+      .add("fault", opt_str(a, "fault", ""))
+      .add("grey", opt_str(a, "grey", ""));
+
+  telemetry::JsonObject& res = man.section("results");
+  res.add_num("goodput", m.goodput)
+      .add_num("short_fct_p99_ms", m.short_fct_p99_ms)
+      .add_num("queue_peak_kb", m.queue_peak_kb)
+      .add_num("reorder_peak_kb", m.reorder_peak_kb)
+      .add_int("incomplete_flows", m.incomplete);
+
+  // Final value of every registered scalar metric, in column order.
+  telemetry::JsonObject& fin = man.section("metrics");
+  const std::vector<std::string> names = hub.metrics().series_names();
+  const std::vector<double> values = hub.metrics().series_values();
+  for (std::size_t i = 0; i < names.size() && i < values.size(); ++i) {
+    fin.add_num(names[i], values[i]);
+  }
+  man.section("histograms")
+      .add_raw("summary", hub.metrics().histograms_json());
+
+  std::vector<std::string> items;
+  for (const telemetry::Hub::Artifact& art : artifacts) {
+    telemetry::JsonObject o;
+    o.add("kind", art.kind).add("path", art.path).add_bool("ok", art.ok);
+    items.push_back(o.str());
+  }
+  man.section("artifacts").add_raw("written", telemetry::json_array(items));
+
+  return man.write(path);
+}
+
 int cmd_run(const Args& a) {
   const ExperimentConfig cfg = experiment_from(a);
   const double load = opt_double(a, "load", 0.5);
   const std::string system = opt_str(a, "system", "sirius");
+
+  const telemetry::TelemetryConfig tc = telemetry_from(a);
+  telemetry::Hub hub(tc);
 
   workload::Workload w;
   const std::string trace = opt_str(a, "trace", "");
@@ -108,11 +249,19 @@ int cmd_run(const Args& a) {
     w = make_workload(cfg, load);
   }
 
-  print_metrics_header();
+  RunMetrics m;  // every branch fills this; the manifest reads it
+  // The header prints with the row (not upfront) so argument errors found
+  // below never leave a dangling half-table on stdout.
+  const auto print_result = [](const RunMetrics& mm) {
+    print_metrics_header();
+    print_metrics_row(mm);
+  };
   if (system == "esn") {
-    print_metrics_row(run_esn(cfg, 1, w));
+    m = run_esn(cfg, 1, w, &hub);
+    print_result(m);
   } else if (system == "esn-osub") {
-    print_metrics_row(run_esn(cfg, 3, w));
+    m = run_esn(cfg, 3, w, &hub);
+    print_result(m);
   } else if (system == "sirius" || system == "sirius-ideal") {
     SiriusVariant v;
     v.ideal = (system == "sirius-ideal");
@@ -125,6 +274,7 @@ int cmd_run(const Args& a) {
     const std::string grey = opt_str(a, "grey", "");
     if (!fail.empty() || !fault.empty() || !grey.empty()) {
       sim::SiriusSimConfig s = make_sirius_config(cfg, v);
+      s.telemetry = &hub;
       for (std::size_t pos = 0; pos < fail.size();) {
         const std::size_t comma = fail.find(',', pos);
         s.failed_racks.push_back(static_cast<NodeId>(
@@ -149,7 +299,7 @@ int cmd_run(const Args& a) {
       // duplicate failures are user errors, not invariant violations.
       {
         ctrl::FaultPlan all = s.faults;
-        for (const NodeId f : s.failed_racks) all.fail_rack(f, Time::zero());
+        for (const NodeId fr : s.failed_racks) all.fail_rack(fr, Time::zero());
         if (const auto err = all.validate(s.racks)) {
           std::fprintf(stderr, "error: fault plan: %s\n", err->c_str());
           return 1;
@@ -157,13 +307,12 @@ int cmd_run(const Args& a) {
       }
       const bool dynamic = [&] {
         ctrl::FaultPlan all = s.faults;
-        for (const NodeId f : s.failed_racks) all.fail_rack(f, Time::zero());
+        for (const NodeId fr : s.failed_racks) all.fail_rack(fr, Time::zero());
         return all.dynamic();
       }();
       s.record_recovery_curve = dynamic;
       sim::SiriusSim sim(s, w);
       const auto r = sim.run();
-      RunMetrics m;
       m.system = dynamic ? "Sirius(faulted)" : "Sirius(failed)";
       m.load = load;
       m.short_fct_p99_ms = r.fct.short_fct_p99_ms;
@@ -171,7 +320,7 @@ int cmd_run(const Args& a) {
       m.queue_peak_kb = r.worst_node_queue_peak_kb;
       m.reorder_peak_kb = r.worst_reorder_peak_kb;
       m.incomplete = r.incomplete_flows;
-      print_metrics_row(m);
+      print_result(m);
       std::printf("(rejected %lld flows touching failed racks)\n",
                   static_cast<long long>(r.rejected_flows));
       if (dynamic) {
@@ -203,13 +352,42 @@ int cmd_run(const Args& a) {
                     fo.recovery.recovered ? "" : " (not recovered)");
       }
     } else {
-      print_metrics_row(run_sirius(cfg, v, w));
+      m = run_sirius(cfg, v, w, &hub);
+      print_result(m);
     }
   } else {
     std::fprintf(stderr, "error: unknown --system %s\n", system.c_str());
     return 1;
   }
-  return 0;
+
+  // Flush telemetry artifacts; any write failure fails the run.
+  int rc = 0;
+  const std::vector<telemetry::Hub::Artifact> artifacts = hub.finish();
+  for (const telemetry::Hub::Artifact& art : artifacts) {
+    if (art.ok) {
+      std::printf("wrote %s: %s\n", art.kind.c_str(), art.path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s %s\n", art.kind.c_str(),
+                   art.path.c_str());
+      rc = 1;
+    }
+  }
+  const std::string manifest_path = opt_str(a, "manifest", "");
+  if (!manifest_path.empty()) {
+    if (write_manifest(manifest_path, a, cfg, system, load, w, m, hub,
+                       artifacts)) {
+      std::printf("wrote manifest: %s\n", manifest_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write manifest %s\n",
+                   manifest_path.c_str());
+      rc = 1;
+    }
+  }
+  if (tc.profile) {
+    const std::string table = hub.profiler().table();
+    if (!table.empty()) std::printf("%s", table.c_str());
+  }
+  return rc;
 }
 
 int cmd_gen(const Args& a) {
@@ -266,12 +444,13 @@ int cmd_info(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args a = parse(argc, argv);
-  if (a.command == "run") return cmd_run(a);
-  if (a.command == "gen") return cmd_gen(a);
-  if (a.command == "info") return cmd_info(a);
+  const std::optional<Args> a = parse(argc, argv);
+  if (!a.has_value()) return 2;
+  if (a->command == "run") return cmd_run(*a);
+  if (a->command == "gen") return cmd_gen(*a);
+  if (a->command == "info") return cmd_info(*a);
   std::fprintf(stderr,
                "usage: sirius_cli {run|gen|info} [--options]\n"
                "see the header of tools/sirius_cli.cpp for details\n");
-  return a.command.empty() ? 1 : 2;
+  return a->command.empty() ? 1 : 2;
 }

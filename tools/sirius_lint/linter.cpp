@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <regex>
 #include <sstream>
@@ -28,6 +29,11 @@ bool in_unit_guarded_header(const FileKind& k) {
   return k.is_header && k.is_src && !k.unit_exempt;
 }
 
+// Shared by the rule table and the wallclock-exempt carve-out below, which
+// needs to examine individual matches rather than a per-line boolean.
+constexpr const char* kWallclockPattern =
+    R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\)|\b(gettimeofday|clock_gettime|localtime|gmtime)\s*\(|::\s*now\s*\(\s*\))";
+
 // `\bprintf` cannot match inside snprintf/fprintf (no word boundary between
 // two word characters), so the checked formatters stay usable in src/.
 constexpr Rule kRules[] = {
@@ -38,8 +44,9 @@ constexpr Rule kRules[] = {
      "global RNG primitive in library code: route randomness through "
      "sirius::Rng so runs stay reproducible"},
     {"no-wallclock",
-     "wall-clock reads are banned in src/; use simulated time",
-     R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\)|\b(gettimeofday|clock_gettime|localtime|gmtime)\s*\(|::\s*now\s*\(\s*\))",
+     "wall-clock reads are banned in src/; use simulated time "
+     "(src/telemetry/profile.* may read steady_clock)",
+     kWallclockPattern,
      &in_src,
      "wall-clock read in library code: simulator behaviour must depend only "
      "on simulated Time"},
@@ -165,6 +172,29 @@ std::vector<std::string> split_lines(const std::string& text) {
 std::string rtrim(const std::string& s) {
   auto end = s.find_last_not_of(" \t\r");
   return end == std::string::npos ? std::string() : s.substr(0, end + 1);
+}
+
+// Wallclock-exempt files (src/telemetry/profile.*) may call
+// steady_clock::now() and nothing else: walk every wallclock match on the
+// line and return true if any match is a non-`::now()` primitive, or a
+// `::now()` whose receiver is not steady_clock. std::regex has no
+// lookbehind, so the receiver check right-trims the text before the match.
+bool wallclock_hit_in_exempt_file(const std::string& ln) {
+  static const std::regex re(kWallclockPattern);
+  for (auto it = std::sregex_iterator(ln.begin(), ln.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string m = it->str();
+    if (m.empty() || m[0] != ':') return true;  // time()/gettimeofday/...
+    const std::string before =
+        rtrim(ln.substr(0, static_cast<std::size_t>(it->position())));
+    static constexpr const char* kAllowedClock = "steady_clock";
+    const std::size_t n = std::string(kAllowedClock).size();
+    if (before.size() < n || before.compare(before.size() - n, n,
+                                            kAllowedClock) != 0) {
+      return true;  // some other clock's ::now()
+    }
+  }
+  return false;
 }
 
 std::string json_escape(const std::string& s) {
@@ -321,6 +351,13 @@ FileKind classify(const std::filesystem::path& path) {
       if (next != norm.end() && (*next == "common" || *next == "check")) {
         k.unit_exempt = true;
       }
+      if (next != norm.end() && *next == "telemetry") {
+        auto file = std::next(next);
+        if (file != norm.end() && std::next(file) == norm.end() &&
+            file->stem() == "profile") {
+          k.wallclock_exempt = true;
+        }
+      }
       break;
     }
   }
@@ -361,6 +398,10 @@ std::vector<Violation> lint_text(const std::string& text,
       if (!r.pattern || !r.applies(kind)) continue;
       const std::size_t ri = static_cast<std::size_t>(&r - kRules);
       if (std::regex_search(ln, compiled_rules()[ri])) {
+        if (kind.wallclock_exempt && std::strcmp(r.id, "no-wallclock") == 0 &&
+            !wallclock_hit_in_exempt_file(ln)) {
+          continue;  // steady_clock::now() in the profiler: allowed
+        }
         report(static_cast<int>(li), r.id, r.message);
       }
     }

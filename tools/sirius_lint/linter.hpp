@@ -44,6 +44,11 @@ struct FileKind {
   bool is_header = false;   ///< .hpp/.h/.hh: header-only rules apply
   bool is_src = false;      ///< library code: determinism + stdio rules apply
   bool unit_exempt = false; ///< src/common, src/check: may touch raw units
+  /// src/telemetry/profile.*: the wall-clock profiler. `no-wallclock`
+  /// still applies but permits `steady_clock::now()` — and only that —
+  /// so the monotonic profiling clock can live there while calendar-time
+  /// reads (time(nullptr), gettimeofday, system_clock::now) stay banned.
+  bool wallclock_exempt = false;
 };
 
 /// Static description of one lint rule (for --list-rules and the docs).
@@ -56,8 +61,9 @@ struct RuleInfo {
 const std::vector<RuleInfo>& rules();
 
 /// Classifies `path` the way the CLI does: a file is library code when a
-/// `src` component appears in its path, and unit-exempt when that `src` is
-/// directly followed by `common` or `check`.
+/// `src` component appears in its path, unit-exempt when that `src` is
+/// directly followed by `common` or `check`, and wallclock-exempt when it
+/// is `profile.*` inside a `telemetry` directory under that `src`.
 FileKind classify(const std::filesystem::path& path);
 
 /// The comment/string scrub pass, exposed for tests: returns `text` with

@@ -10,11 +10,14 @@
 // extension (that is how the fixture tests feed it .cpp.in files).
 //
 // Options:
-//   --json <path>     also write a machine-readable JSON report
-//   --treat-as-src    classify every explicit file as src/ library code
-//   --as-header       classify every explicit file as a header
-//   --list-rules      print the rule table and exit
-//   --quiet           suppress per-violation lines (summary only)
+//   --json <path>       also write a machine-readable JSON report
+//   --treat-as-src      classify every explicit file as src/ library code
+//   --as-header         classify every explicit file as a header
+//   --classify-as <p>   classify every explicit file as if it lived at
+//                       path <p> (fixtures use this to test path-scoped
+//                       carve-outs like src/telemetry/profile.*)
+//   --list-rules        print the rule table and exit
+//   --quiet             suppress per-violation lines (summary only)
 //
 // Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
 #include <cstring>
@@ -42,6 +45,7 @@ bool has_cxx_extension(const fs::path& p) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string classify_as;
   bool treat_as_src = false;
   bool as_header = false;
   bool quiet = false;
@@ -55,6 +59,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       json_path = argv[i];
+    } else if (arg == "--classify-as") {
+      if (++i >= argc) {
+        std::cerr << "sirius_lint: --classify-as needs a path\n";
+        return 2;
+      }
+      classify_as = argv[i];
     } else if (arg == "--treat-as-src") {
       treat_as_src = true;
     } else if (arg == "--as-header") {
@@ -68,7 +78,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: sirius_lint [--json <path>] [--treat-as-src] "
-                   "[--as-header] [--quiet] [--list-rules] <path>...\n";
+                   "[--as-header] [--classify-as <path>] [--quiet] "
+                   "[--list-rules] <path>...\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "sirius_lint: unknown option " << arg << "\n";
@@ -100,7 +111,9 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (fs::exists(root, ec)) {
-      FileKind kind = sirius::lint::classify(root);
+      FileKind kind = classify_as.empty()
+                          ? sirius::lint::classify(root)
+                          : sirius::lint::classify(fs::path(classify_as));
       if (treat_as_src) kind.is_src = true;
       if (as_header) kind.is_header = true;
       files.emplace_back(root, kind);
