@@ -46,7 +46,8 @@ void audit_destination_permutation(const std::vector<NodeId>& dsts,
 }
 
 void audit_slot_permutation(const sched::CyclicSchedule& sched,
-                            std::int64_t slot) {
+                            std::int64_t slot)
+    SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
   // Contention-freeness is per uplink: for a fixed (u, slot) the src -> dst
   // map is a bijection. Across uplinks a node legitimately receives up to
   // U cells per slot (one per downlink), so each uplink is audited alone.
@@ -86,7 +87,8 @@ void audit_slot_permutation(const sched::CyclicSchedule& sched,
 }
 
 void audit_queue_bound(const node::Node& n, std::int32_t queue_limit,
-                       std::int32_t bound) {
+                       std::int32_t bound)
+    SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
   const auto& cc = n.cc();
   for (NodeId d = 0; d < static_cast<NodeId>(n.queue_span()); ++d) {
     const std::int32_t fq = n.fq_depth(d);

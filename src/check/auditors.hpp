@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "common/units.hpp"
 
 namespace sirius::node {
@@ -63,7 +64,8 @@ void audit_destination_permutation(const std::vector<NodeId>& dsts,
 /// a partial permutation, destinations are members distinct from their
 /// source, and peer_rx inverts peer_tx.
 void audit_slot_permutation(const sched::CyclicSchedule& sched,
-                            std::int64_t slot);
+                            std::int64_t slot)
+    SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
 /// Audits one node's per-destination relay (forward) queues against
 /// `bound` cells, and its grant accounting against `queue_limit` (the
@@ -72,7 +74,8 @@ void audit_slot_permutation(const sched::CyclicSchedule& sched,
 /// queue alone may transiently hold up to Q plus the in-flight allowance
 /// (see SiriusSim::transmit_slot).
 void audit_queue_bound(const node::Node& n, std::int32_t queue_limit,
-                       std::int32_t bound);
+                       std::int32_t bound)
+    SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
 /// Conservation: injected == delivered + queued + in_flight + dropped.
 void audit_cell_conservation(std::int64_t injected, std::int64_t delivered,

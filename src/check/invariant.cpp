@@ -14,21 +14,32 @@ namespace {
 
 // Kept out of the class so the header stays dependency-free for the hot
 // paths that include it (common/time.hpp is pulled in nearly everywhere).
+// The invariant registry is deliberately process-wide — it aggregates
+// violations across every sim in the process — and is already shard-safe:
+// atomics for the counters, mutexes for the report/hook lists.
+// sirius-lint: allow(no-mutable-global-state)
 std::atomic<InvariantMode> g_mode{InvariantMode::kAbort};
+// sirius-lint: allow(no-mutable-global-state)
 std::atomic<std::int64_t> g_violations{0};
+// sirius-lint: allow(no-mutable-global-state)
 std::mutex g_reports_mutex;
 std::vector<Violation>& retained() {
+  // sirius-lint: allow(no-mutable-global-state) -- guarded by g_reports_mutex
   static std::vector<Violation> reports;
   return reports;
 }
 
+// sirius-lint: allow(no-mutable-global-state)
 std::mutex g_hook_mutex;
 std::function<void()>& failure_hook() {
+  // sirius-lint: allow(no-mutable-global-state) -- guarded by g_hook_mutex
   static std::function<void()> hook;
   return hook;
 }
 // Guards against a hook that itself trips an invariant (the flight
-// recorder's dump path must never recurse back into fail()).
+// recorder's dump path must never recurse back into fail()). thread_local,
+// so each shard worker gets its own recursion latch.
+// sirius-lint: allow(no-mutable-global-state)
 thread_local bool g_in_failure_hook = false;
 
 void run_failure_hook() {
@@ -47,6 +58,9 @@ void run_failure_hook() {
 }  // namespace
 
 InvariantContext& InvariantContext::instance() {
+  // Meyers singleton over the shard-safe registry above; the object itself
+  // is stateless (all state lives in the guarded globals).
+  // sirius-lint: allow(no-mutable-global-state)
   static InvariantContext ctx;
   return ctx;
 }

@@ -1,0 +1,117 @@
+// Thread-safety capability annotations for the sharded slot core.
+//
+// ROADMAP item 2 splits the slot-synchronous loop into per-rack shards.
+// The refactor is only safe if the state a shard touches is statically
+// known, so the types the sharded core will share — VOQ ownership in
+// node/, grant state in cc/, schedule tables in sched/, the telemetry
+// Hub — carry Clang thread-safety annotations *now*, while the code is
+// still sequential. Under clang (the lint preset / CI tidy job) the
+// annotations are enforced by -Wthread-safety as errors; under gcc they
+// compile to nothing, so the simulator's behaviour and codegen are
+// untouched (the determinism tests assert bit-identical output).
+//
+// The scheme is role-based, in the style capability systems use before
+// real locks exist (cf. Abseil's thread-annotations): a `Role` is a
+// stateless capability token, and `RoleLock` is a scoped "acquisition"
+// that costs nothing at runtime. Today the single-threaded driver
+// acquires `sim_slot_role` once around the slot loop; when sharding
+// lands, each shard's worker acquires it around its slot slice and the
+// no-op RoleLock is replaced by (or paired with) a real mutex or a
+// barrier without touching any annotated declaration. Until then, the
+// annotations document and *enforce* which methods may only run inside
+// the slot loop.
+//
+// Macro set (subset of the standard Clang vocabulary, SIRIUS_-prefixed):
+//   SIRIUS_CAPABILITY(name)        a class is a capability (role/mutex)
+//   SIRIUS_SCOPED_CAPABILITY       RAII type that acquires/releases
+//   SIRIUS_GUARDED_BY(cap)         member needs cap held to touch
+//   SIRIUS_PT_GUARDED_BY(cap)      pointee needs cap held to touch
+//   SIRIUS_REQUIRES(cap)           function needs exclusive cap
+//   SIRIUS_REQUIRES_SHARED(cap)    function needs shared (reader) cap
+//   SIRIUS_ACQUIRE(cap) / SIRIUS_ACQUIRE_SHARED(cap)
+//   SIRIUS_RELEASE(cap) / SIRIUS_RELEASE_SHARED(cap)
+//   SIRIUS_EXCLUDES(cap)           function must NOT hold cap
+//   SIRIUS_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify!)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SIRIUS_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#if !defined(SIRIUS_TS_ATTR)
+#define SIRIUS_TS_ATTR(x)  // no-op outside clang
+#endif
+
+#define SIRIUS_CAPABILITY(name) SIRIUS_TS_ATTR(capability(name))
+#define SIRIUS_SCOPED_CAPABILITY SIRIUS_TS_ATTR(scoped_lockable)
+#define SIRIUS_GUARDED_BY(cap) SIRIUS_TS_ATTR(guarded_by(cap))
+#define SIRIUS_PT_GUARDED_BY(cap) SIRIUS_TS_ATTR(pt_guarded_by(cap))
+#define SIRIUS_REQUIRES(cap) SIRIUS_TS_ATTR(requires_capability(cap))
+#define SIRIUS_REQUIRES_SHARED(cap) \
+  SIRIUS_TS_ATTR(requires_shared_capability(cap))
+#define SIRIUS_ACQUIRE(cap) SIRIUS_TS_ATTR(acquire_capability(cap))
+#define SIRIUS_ACQUIRE_SHARED(cap) SIRIUS_TS_ATTR(acquire_shared_capability(cap))
+#define SIRIUS_RELEASE(cap) SIRIUS_TS_ATTR(release_capability(cap))
+#define SIRIUS_RELEASE_SHARED(cap) SIRIUS_TS_ATTR(release_shared_capability(cap))
+#define SIRIUS_EXCLUDES(cap) SIRIUS_TS_ATTR(locks_excluded(cap))
+#define SIRIUS_NO_THREAD_SAFETY_ANALYSIS \
+  SIRIUS_TS_ATTR(no_thread_safety_analysis)
+
+namespace sirius::common {
+
+/// A stateless capability token. Nothing is ever stored or locked; the
+/// object exists so the annotations have something to name.
+class SIRIUS_CAPABILITY("role") Role {
+ public:
+  constexpr Role() = default;
+  Role(const Role&) = delete;
+  Role& operator=(const Role&) = delete;
+
+  /// Annotation-only transitions (no-ops at runtime; the analysis treats
+  /// them as acquire/release of the capability).
+  void acquire() SIRIUS_ACQUIRE() {}
+  void acquire_shared() SIRIUS_ACQUIRE_SHARED() {}
+  void release() SIRIUS_RELEASE() {}
+  void release_shared() SIRIUS_RELEASE_SHARED() {}
+};
+
+/// Scoped exclusive "hold" of a Role. Runtime no-op; under clang the
+/// analysis sees the capability held for the scope's lifetime. The entry
+/// points of the slot-synchronous core (SiriusSim::run(), its constructor,
+/// the per-epoch lambdas) each open one of these.
+class SIRIUS_SCOPED_CAPABILITY RoleLock {
+ public:
+  explicit RoleLock(Role& role) SIRIUS_ACQUIRE(role) {
+    static_cast<void>(role);
+  }
+  ~RoleLock() SIRIUS_RELEASE() {}
+  RoleLock(const RoleLock&) = delete;
+  RoleLock& operator=(const RoleLock&) = delete;
+};
+
+/// Scoped shared (reader) hold of a Role, for const paths like the
+/// schedule auditors that only read slot-guarded tables.
+class SIRIUS_SCOPED_CAPABILITY SharedRoleLock {
+ public:
+  explicit SharedRoleLock(Role& role) SIRIUS_ACQUIRE_SHARED(role) {
+    static_cast<void>(role);
+  }
+  ~SharedRoleLock() SIRIUS_RELEASE() {}
+  SharedRoleLock(const SharedRoleLock&) = delete;
+  SharedRoleLock& operator=(const SharedRoleLock&) = delete;
+};
+
+/// The slot-synchronous execution role: guards every piece of simulator
+/// state the sharded core will partition (VOQs, grant state, schedule
+/// tables, the sim's bound instruments). Stateless token, not state —
+/// nothing is shared through it.
+// sirius-lint: allow(no-mutable-global-state)
+inline constinit Role sim_slot_role;
+
+/// The telemetry-hub role: guards the Hub's registry and sinks. The Hub
+/// acquires it internally, so producers stay annotation-free.
+// sirius-lint: allow(no-mutable-global-state)
+inline constinit Role telemetry_hub_role;
+
+}  // namespace sirius::common

@@ -61,10 +61,10 @@ void EsnFluidSim::recompute_rates() {
   // Exact max-min fair allocation by progressive filling with a lazy heap:
   // repeatedly saturate the constraint with the smallest fair share and
   // freeze its flows at that share.
-  static thread_local std::vector<double> cap;
-  static thread_local std::vector<std::int32_t> cnt;
-  static thread_local std::vector<std::vector<std::int32_t>> members;
-  static thread_local std::vector<std::int32_t> touched;
+  std::vector<double>& cap = scratch_cap_;
+  std::vector<std::int32_t>& cnt = scratch_cnt_;
+  std::vector<std::vector<std::int32_t>>& members = scratch_members_;
+  std::vector<std::int32_t>& touched = scratch_touched_;
 
   if (cap.size() < capacity_.size()) {
     cap.resize(capacity_.size());

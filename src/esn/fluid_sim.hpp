@@ -82,6 +82,14 @@ class EsnFluidSim {
   stats::GoodputMeter goodput_;
   Time measure_end_;
 
+  // recompute_rates() scratch, owned by the solver instance so the
+  // water-filling pass carries no function-static state (each future shard
+  // gets its own solver, so shards never meet through these).
+  std::vector<double> scratch_cap_;
+  std::vector<std::int32_t> scratch_cnt_;
+  std::vector<std::vector<std::int32_t>> scratch_members_;
+  std::vector<std::int32_t> scratch_touched_;
+
   // Telemetry spine (see sim::SiriusSim): counters bound once at
   // construction, bumped through the pointers.
   std::unique_ptr<telemetry::Hub> own_hub_;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "common/units.hpp"
 #include "topo/sirius_topology.hpp"
 
@@ -30,6 +31,11 @@ namespace sirius::sched {
 /// lost bandwidth". Members keep their global NodeIds; the rotation runs
 /// over member indices, so contention-freeness and the once-per-round
 /// property hold within the alive set.
+///
+/// The tables are written once (construction / the simulator's failover
+/// swap) and read on every slot, so lookups require only a *shared* hold of
+/// common::sim_slot_role: sharded slot workers may all read the calendar
+/// concurrently, while swapping it in will need the exclusive role.
 class CyclicSchedule {
  public:
   CyclicSchedule(std::int32_t nodes, std::int32_t uplinks);
@@ -37,21 +43,33 @@ class CyclicSchedule {
   CyclicSchedule(std::vector<NodeId> members, std::int32_t uplinks);
 
   /// Number of *participating* nodes (= member count).
-  [[nodiscard]] std::int32_t nodes() const { return members_ ? member_count_ : nodes_; }
-  [[nodiscard]] std::int32_t uplinks() const { return uplinks_; }
-  [[nodiscard]] bool is_member(NodeId n) const;
+  [[nodiscard]] std::int32_t nodes() const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
+    return members_ ? member_count_ : nodes_;
+  }
+  [[nodiscard]] std::int32_t uplinks() const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
+    return uplinks_;
+  }
+  [[nodiscard]] bool is_member(NodeId n) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
   /// Slots per round; one round connects each ordered pair exactly once.
-  [[nodiscard]] std::int32_t slots_per_round() const { return slots_per_round_; }
+  [[nodiscard]] std::int32_t slots_per_round() const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
+    return slots_per_round_;
+  }
 
   /// Destination of node `src` on uplink `u` at global slot `t`, or
   /// kInvalidNode if that uplink is idle in this slot (padding when
   /// (N-1) is not a multiple of U).
-  [[nodiscard]] NodeId peer_tx(NodeId src, UplinkId u, std::int64_t t) const;
+  [[nodiscard]] NodeId peer_tx(NodeId src, UplinkId u, std::int64_t t) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
   /// Source heard by node `dst` on downlink `u` at slot `t`, or
   /// kInvalidNode when idle.
-  [[nodiscard]] NodeId peer_rx(NodeId dst, UplinkId u, std::int64_t t) const;
+  [[nodiscard]] NodeId peer_rx(NodeId dst, UplinkId u, std::int64_t t) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
   /// The (slot-in-round, uplink) at which `src` talks to `dst`. Each
   /// ordered pair occurs exactly once per round.
@@ -59,27 +77,39 @@ class CyclicSchedule {
     std::int32_t slot_in_round;
     UplinkId uplink;
   };
-  Connection connection(NodeId src, NodeId dst) const;
+  Connection connection(NodeId src, NodeId dst) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
   /// Round index containing global slot `t`.
-  [[nodiscard]] std::int64_t round_of(std::int64_t t) const { return t / slots_per_round_; }
+  [[nodiscard]] std::int64_t round_of(std::int64_t t) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
+    return t / slots_per_round_;
+  }
   /// First global slot of round `r`.
-  [[nodiscard]] std::int64_t round_start(std::int64_t r) const {
+  [[nodiscard]] std::int64_t round_start(std::int64_t r) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
     return r * slots_per_round_;
   }
 
  private:
-  [[nodiscard]] std::int32_t offset_of(UplinkId u, std::int64_t t) const;
-  [[nodiscard]] std::int32_t index_of(NodeId n) const;  // member index, -1 if not member
-  [[nodiscard]] NodeId node_at(std::int32_t index) const;
+  [[nodiscard]] std::int32_t offset_of(UplinkId u, std::int64_t t) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
+  // member index, -1 if not member
+  [[nodiscard]] std::int32_t index_of(NodeId n) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
+  [[nodiscard]] NodeId node_at(std::int32_t index) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
-  std::int32_t nodes_;
-  std::int32_t uplinks_;
-  std::int32_t slots_per_round_;
-  bool members_ = false;
-  std::int32_t member_count_ = 0;
-  std::vector<NodeId> member_list_;       // index -> NodeId
-  std::vector<std::int32_t> member_index_;  // NodeId -> index, -1 if absent
+  std::int32_t nodes_ SIRIUS_GUARDED_BY(common::sim_slot_role);
+  std::int32_t uplinks_ SIRIUS_GUARDED_BY(common::sim_slot_role);
+  std::int32_t slots_per_round_ SIRIUS_GUARDED_BY(common::sim_slot_role);
+  bool members_ SIRIUS_GUARDED_BY(common::sim_slot_role) = false;
+  std::int32_t member_count_ SIRIUS_GUARDED_BY(common::sim_slot_role) = 0;
+  // index -> NodeId
+  std::vector<NodeId> member_list_ SIRIUS_GUARDED_BY(common::sim_slot_role);
+  // NodeId -> index, -1 if absent
+  std::vector<std::int32_t> member_index_
+      SIRIUS_GUARDED_BY(common::sim_slot_role);
 };
 
 /// Maps the abstract schedule onto physical wavelengths for a topology and
@@ -87,6 +117,7 @@ class CyclicSchedule {
 /// slot of a round, every populated AWGR output port receives light from
 /// at most one input.
 bool physically_contention_free(const topo::SiriusTopology& topo,
-                                const CyclicSchedule& sched);
+                                const CyclicSchedule& sched)
+    SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
 }  // namespace sirius::sched

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/invariant.hpp"
+#include "common/thread_safety.hpp"
 
 namespace sirius::sim {
 
@@ -60,6 +61,9 @@ SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
       // bit-identical.
       fault_rng_(cfg.seed ^ 0x4641554C54ull),
       goodput_(cfg.servers(), cfg.server_share()) {
+  // Construction is a slot-core entry point: it wires guarded state and
+  // calls role-required methods, so it holds the (no-op) role for its body.
+  common::RoleLock slot_role(common::sim_slot_role);
   hub_ = cfg_.telemetry;
   if (hub_ == nullptr) {
     own_hub_ = std::make_unique<telemetry::Hub>();
@@ -215,7 +219,11 @@ void SiriusSim::register_auditors() {
   // Per-slot contention-freeness of the static schedule (§4.2): the tx map
   // must be a partial permutation and peer_rx its inverse. The audited slot
   // is schedule-relative (a swap restarts the round phase).
+  // Auditor bodies run from run_all() inside the slot loop, but each lambda
+  // is its own function to the thread-safety analysis, so each re-opens the
+  // (no-op) role for its body.
   auditors_.register_auditor("schedule-permutation", [this] {
+    common::SharedRoleLock slot_role(common::sim_slot_role);
     check::audit_slot_permutation(sched_, audit_slot_);
   });
 
@@ -227,6 +235,7 @@ void SiriusSim::register_auditors() {
   // taken over every schedule this run has used (see audit_flight_rounds_).
   if (!cfg_.ideal && cfg_.routing == RoutingMode::kValiant) {
     auditors_.register_auditor("queue-bound", [this] {
+      common::SharedRoleLock slot_role(common::sim_slot_role);
       const std::int32_t bound = cfg_.queue_limit + audit_flight_rounds_ + 1;
       for (const auto& n : nodes_) {
         check::audit_queue_bound(n, cfg_.queue_limit, bound);
@@ -239,6 +248,7 @@ void SiriusSim::register_auditors() {
   // the failover path (dead-rack purges, grey losses, relay refusals,
   // discarded duplicates). A fault-free run must audit with dropped == 0.
   auditors_.register_auditor("cell-conservation", [this] {
+    common::SharedRoleLock slot_role(common::sim_slot_role);
     std::int64_t queued = 0;
     for (const auto& n : nodes_) {
       for (NodeId d = 0; d < cfg_.racks; ++d) {
@@ -257,6 +267,7 @@ void SiriusSim::register_auditors() {
 
   // Reorder buffers of in-progress flows stay structurally consistent.
   auditors_.register_auditor("reorder-buffers", [this] {
+    common::SharedRoleLock slot_role(common::sim_slot_role);
     for (const auto& rxp : rx_) {
       if (rxp != nullptr && !rxp->reorder.complete()) {
         check::audit_reorder(rxp->reorder);
@@ -389,7 +400,10 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
   // direct-only routing (each pair owns its slot outright).
   if (cfg_.ideal || cfg_.routing == RoutingMode::kDirect) return;
 
+  // Helper lambdas are separate functions to the thread-safety analysis;
+  // each re-opens the (no-op) role it is always called under.
   const auto skip_node = [this](NodeId n) {
+    common::SharedRoleLock slot_role(common::sim_slot_role);
     return faults_active_ && (truth_down_[static_cast<std::size_t>(n)] != 0 ||
                               !sched_.is_member(n));
   };
@@ -401,7 +415,11 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
   for (auto& inter : nodes_) {
     if (skip_node(inter.self())) continue;
     auto grants = inter.cc().issue_grants(
-        [&inter](NodeId dst) { return inter.fq_depth(dst); }, rng_);
+        [&inter](NodeId dst) {
+          common::SharedRoleLock slot_role(common::sim_slot_role);
+          return inter.fq_depth(dst);
+        },
+        rng_);
     for (const cc::Grant& g : grants) {
       SIRIUS_CELL_EVENT(hub_, telemetry::CellEvent::kGrant, now,
                         g.intermediate, g.to, g.dst, FlowId{-1}, -1);
@@ -444,12 +462,14 @@ void SiriusSim::epoch_boundary(std::int64_t round, Time now) {
     if (!src.has_unfinished_flows() && src.retx_total() == 0) continue;
     const auto pending = src.pending_cell_dsts(now, nic_cell_time_, limit);
     const auto vq_has_room = [this, &src](NodeId i) {
+      common::SharedRoleLock slot_role(common::sim_slot_role);
       return src.vq_depth(i) < cfg_.max_vq_depth;
     };
     std::function<bool(NodeId, NodeId)> relay_ok;
     if (faults_active_) {
       const NodeId s = src.self();
       relay_ok = [this, s](NodeId inter, NodeId dst) {
+        common::SharedRoleLock slot_role(common::sim_slot_role);
         const auto& view = views_[static_cast<std::size_t>(s)];
         // Veto a relay whose link towards dst is reported lost (the cell
         // would blackhole on the second hop), and one this source cannot
@@ -723,6 +743,7 @@ void SiriusSim::sync_exclusions(NodeId observer, std::int64_t round,
       // release the grant of every purged VQ cell at its — alive —
       // intermediate so the relay's accounting stays exact.
       const std::int64_t purged = n.purge_dst(d, [this, d](NodeId inter) {
+        common::RoleLock slot_role(common::sim_slot_role);
         if (truth_down_[static_cast<std::size_t>(inter)] == 0) {
           nodes_[static_cast<std::size_t>(inter)].cc().on_grant_release(d);
           c_released_->inc();
@@ -948,6 +969,9 @@ void SiriusSim::round_boundary_failover(std::int64_t round, std::int64_t slot,
 }
 
 SiriusSimResult SiriusSim::run() {
+  // THE slot-core entry point: the whole run executes under the (no-op)
+  // slot role. When the loop is sharded, this lock moves into the workers.
+  common::RoleLock slot_role(common::sim_slot_role);
   const Time slot_len = cfg_.slots.slot_duration();
   const std::int64_t last_arrival_slot =
       workload_.last_arrival() / slot_len + 1;

@@ -26,12 +26,14 @@ Hub::Hub(TelemetryConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 Hub::~Hub() {
+  common::RoleLock hub_role(common::telemetry_hub_role);
   if (hook_installed_) {
     check::InvariantContext::instance().set_failure_hook(nullptr);
   }
 }
 
 void Hub::attach_nodes(std::int32_t nodes) {
+  common::RoleLock hub_role(common::telemetry_hub_role);
   nodes_ = nodes;
   if (cfg_.flight_recorder_depth > 0 && !recorder_.enabled()) {
     recorder_.configure(nodes, cfg_.flight_recorder_depth);
@@ -44,6 +46,7 @@ void Hub::attach_nodes(std::int32_t nodes) {
 }
 
 std::vector<Hub::Artifact> Hub::finish() {
+  common::RoleLock hub_role(common::telemetry_hub_role);
   std::vector<Artifact> out;
   if (sampler_.enabled() && !cfg_.metrics_out.empty()) {
     Artifact a{"metrics", cfg_.metrics_out, false};

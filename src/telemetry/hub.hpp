@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "common/time.hpp"
 #include "telemetry/events.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -70,8 +71,11 @@ class Hub {
   [[nodiscard]] const TelemetryConfig& config() const { return cfg_; }
 
   /// Called once by the simulation that adopts this hub: sizes the
-  /// flight-recorder rings and installs the invariant failure hook.
-  void attach_nodes(std::int32_t nodes);
+  /// flight-recorder rings and installs the invariant failure hook. The
+  /// hub guards its attach/finish state with its own role internally
+  /// (common::telemetry_hub_role), so producers stay annotation-free.
+  void attach_nodes(std::int32_t nodes)
+      SIRIUS_EXCLUDES(common::telemetry_hub_role);
 
   /// Any event sink live? Checked before building a CellEventRecord.
   [[nodiscard]] bool tracing() const {
@@ -96,7 +100,8 @@ class Hub {
 
   /// Flushes the metrics series and the trace to their configured paths.
   /// Idempotent per hub; returns what was written for the manifest.
-  std::vector<Artifact> finish();
+  std::vector<Artifact> finish()
+      SIRIUS_EXCLUDES(common::telemetry_hub_role);
 
  private:
   TelemetryConfig cfg_;
@@ -105,8 +110,8 @@ class Hub {
   CellTracer tracer_;
   FlightRecorder recorder_;
   Profiler profiler_;
-  std::int32_t nodes_ = 0;
-  bool hook_installed_ = false;
+  std::int32_t nodes_ SIRIUS_GUARDED_BY(common::telemetry_hub_role) = 0;
+  bool hook_installed_ SIRIUS_GUARDED_BY(common::telemetry_hub_role) = false;
 };
 
 }  // namespace sirius::telemetry

@@ -1,11 +1,13 @@
 #include "linter.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <regex>
 #include <sstream>
+#include <utility>
 
 namespace sirius::lint {
 namespace {
@@ -120,10 +122,37 @@ const std::vector<std::regex>& compiled_rules() {
   return v;
 }
 
+// Pass-2 rules live in index.cpp (they need the merged cross-file index);
+// the entries here feed --list-rules, the docs, and the zero-filled
+// rule_counts block in the JSON report.
+constexpr RuleInfo kPass2Rules[] = {
+    {"no-mutable-global-state",
+     "mutable namespace-scope / function-static state is banned in src/ "
+     "(shards cannot share it)"},
+    {"no-unordered-sim-state",
+     "std::unordered_* fields are banned in sim-reachable types (iteration "
+     "order would break the deterministic merge)"},
+    {"no-pointer-key-order",
+     "ordered containers / comparators keyed on pointer values are banned "
+     "in src/ (addresses vary run to run)"},
+    {"no-shared-mutable-ref",
+     "non-const reference/pointer members in sim/, node/, cc/, sched/ must "
+     "carry SIRIUS_GUARDED_BY (declared sharing) or a justification"},
+    {"float-reduction-order",
+     "floating-point += accumulation in loops in stats/ and esn/ needs a "
+     "reduction-order justification"},
+    {"singleton-telemetry-escape",
+     "telemetry Hub access is bound at init (constructors / bind_metrics); "
+     "ad-hoc access elsewhere is banned"},
+    {"allowlist-sync",
+     "every sirius-lint: allow(...) site must be recorded in "
+     "tools/sirius_lint/ALLOWLIST.md, and vice versa"},
+};
+
+}  // namespace
+
 // ---- suppression comments --------------------------------------------------
 
-// True when `comment` carries `sirius-lint: allow(...)` naming `rule` (or
-// `all`). The list is comma-separated; whitespace is ignored.
 bool comment_allows(const std::string& comment, const std::string& rule) {
   static const std::regex re(R"(sirius-lint:\s*allow\(([^)]*)\))");
   auto begin = std::sregex_iterator(comment.begin(), comment.end(), re);
@@ -173,6 +202,8 @@ std::string rtrim(const std::string& s) {
   auto end = s.find_last_not_of(" \t\r");
   return end == std::string::npos ? std::string() : s.substr(0, end + 1);
 }
+
+namespace {
 
 // Wallclock-exempt files (src/telemetry/profile.*) may call
 // steady_clock::now() and nothing else: walk every wallclock match on the
@@ -368,6 +399,7 @@ const std::vector<RuleInfo>& rules() {
   static const std::vector<RuleInfo> infos = [] {
     std::vector<RuleInfo> v;
     for (const Rule& r : kRules) v.push_back({r.id, r.summary});
+    for (const RuleInfo& r : kPass2Rules) v.push_back(r);
     return v;
   }();
   return infos;
@@ -448,9 +480,29 @@ std::vector<Violation> lint_file(const std::filesystem::path& path,
 }
 
 std::string to_json(const std::vector<Violation>& vs, int files_scanned) {
+  // Per-rule counts: every known rule id (zero-filled, table order), then
+  // any rule id present in the violations but absent from the table (e.g.
+  // "io-error"), in first-seen order.
+  std::vector<std::pair<std::string, int>> counts;
+  for (const RuleInfo& r : rules()) counts.emplace_back(r.id, 0);
+  for (const Violation& v : vs) {
+    auto it = std::find_if(counts.begin(), counts.end(),
+                           [&](const auto& c) { return c.first == v.rule; });
+    if (it == counts.end()) {
+      counts.emplace_back(v.rule, 1);
+    } else {
+      ++it->second;
+    }
+  }
+
   std::ostringstream os;
   os << "{\n  \"files_scanned\": " << files_scanned
-     << ",\n  \"violation_count\": " << vs.size() << ",\n  \"violations\": [";
+     << ",\n  \"violation_count\": " << vs.size() << ",\n  \"rule_counts\": {";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << json_escape(counts[i].first)
+       << "\": " << counts[i].second;
+  }
+  os << "\n  },\n  \"violations\": [";
   for (std::size_t i = 0; i < vs.size(); ++i) {
     os << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(vs[i].file)
        << "\", \"line\": " << vs[i].line << ", \"rule\": \""

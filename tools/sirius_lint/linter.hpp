@@ -84,7 +84,29 @@ std::vector<Violation> lint_text(const std::string& text,
 std::vector<Violation> lint_file(const std::filesystem::path& path,
                                  const FileKind& kind);
 
-/// Serialises violations as a machine-readable JSON report.
+/// Serialises violations as a machine-readable JSON report. The report
+/// carries a `rule_counts` block: every known rule id mapped to its
+/// violation count (zero included), so CI logs show which rule regressed
+/// at a glance.
 std::string to_json(const std::vector<Violation>& vs, int files_scanned);
+
+// ---- shared with the pass-1 indexer (index.cpp) ----------------------------
+// Not part of the public API; exposed so the structural scanner applies the
+// exact same suppression semantics as the line rules.
+
+/// Splits on '\n' (the final fragment is kept even when unterminated).
+std::vector<std::string> split_lines(const std::string& text);
+
+/// Right-trims spaces/tabs/CR.
+std::string rtrim(const std::string& s);
+
+/// True when `comment` carries `sirius-lint: allow(...)` naming `rule` (or
+/// `all`). The list is comma-separated; whitespace is ignored.
+bool comment_allows(const std::string& comment, const std::string& rule);
+
+/// True when the violation on 0-based line `line_idx` is suppressed by an
+/// allow comment on the same line or the line above.
+bool suppressed(const std::vector<std::string>& comments, int line_idx,
+                const std::string& rule);
 
 }  // namespace sirius::lint
