@@ -1,7 +1,19 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the library:
 // AWGR routing, schedule lookups, laser-latency queries, RNG, workload
 // generation and end-to-end simulator slot throughput.
+//
+// `micro_bench --summary [path]` skips google-benchmark and instead runs
+// the end-to-end slot-throughput scenario once, writing a machine-readable
+// JSON summary (simulated cells/sec, wall-ns per sim-slot, peak RSS) to
+// `path` (stdout when omitted). CI commits one snapshot per growth PR at
+// the repo root (BENCH_<n>.json) so regressions show up in review diffs.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/rng.hpp"
 #include "fec/reed_solomon.hpp"
@@ -144,4 +156,93 @@ void BM_SiriusSimSlots(benchmark::State& state) {
 }
 BENCHMARK(BM_SiriusSimSlots)->Unit(benchmark::kMillisecond);
 
+// ---- machine-readable summary mode -----------------------------------------
+
+// The same 32-rack / 50 % load scenario as BM_SiriusSimSlots, timed with a
+// monotonic clock across one full run (the sim itself is deterministic, so
+// one run measures the steady state; a short warm-up run pre-faults the
+// allocator and page cache).
+int run_summary(const char* path) {
+  sim::SiriusSimConfig cfg;
+  cfg.racks = 32;
+  cfg.servers_per_rack = 8;
+  cfg.base_uplinks = 8;
+  workload::GeneratorConfig g;
+  g.servers = cfg.servers();
+  g.server_rate = cfg.server_share();
+  g.load = 0.5;
+  g.flow_count = 2'000;
+  g.max_flow_size = DataSize::megabytes(2);
+  const auto w = workload::generate(g);
+
+  {
+    sim::SiriusSim warmup(cfg, w);
+    (void)warmup.run();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::SiriusSim sim(cfg, w);
+  const auto r = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  if (wall_ns <= 0.0 || r.slots_simulated <= 0) {
+    std::fprintf(stderr, "micro_bench: degenerate run (%.0f ns, %lld slots)\n",
+                 wall_ns, static_cast<long long>(r.slots_simulated));
+    return 1;
+  }
+
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);  // ru_maxrss is KiB on Linux
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"scenario\": \"sim_slots_32rack_load50\",\n"
+      "  \"racks\": %d,\n"
+      "  \"flows\": %lld,\n"
+      "  \"slots_simulated\": %lld,\n"
+      "  \"cells_delivered\": %lld,\n"
+      "  \"wall_ns\": %.0f,\n"
+      "  \"cells_per_sec\": %.1f,\n"
+      "  \"wall_ns_per_slot\": %.2f,\n"
+      "  \"peak_rss_kb\": %lld\n"
+      "}\n",
+      cfg.racks, static_cast<long long>(g.flow_count),
+      static_cast<long long>(r.slots_simulated),
+      static_cast<long long>(r.cells_delivered), wall_ns,
+      static_cast<double>(r.cells_delivered) * 1e9 / wall_ns,
+      wall_ns / static_cast<double>(r.slots_simulated),
+      static_cast<long long>(ru.ru_maxrss));
+
+  if (path == nullptr) {
+    std::fputs(buf, stdout);
+    return 0;
+  }
+  std::FILE* out = std::fopen(path, "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_bench: cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(buf, out);
+  std::fclose(out);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--summary") == 0) {
+      const char* path =
+          (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1] : nullptr;
+      return run_summary(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

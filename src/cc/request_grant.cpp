@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::cc {
 
@@ -17,6 +17,9 @@ RequestGrantNode::RequestGrantNode(NodeId self, const RequestGrantConfig& cfg)
   intermediate_pool_.reserve(static_cast<std::size_t>(cfg_.nodes));
   pool_pos_.assign(static_cast<std::size_t>(cfg_.nodes), -1);
   excluded_.assign(static_cast<std::size_t>(cfg_.nodes), 0);
+  // Pre-size the per-slot request inbox: at most one piggybacked request
+  // per peer per slot, so the SIRIUS_HOT receive path never reallocates.
+  inbox_.reserve(static_cast<std::size_t>(cfg_.nodes));
 }
 
 void RequestGrantNode::shuffle_inbox(Rng& rng) {

@@ -29,7 +29,8 @@
 #include <functional>
 #include <vector>
 
-#include "check/invariant.hpp"
+#include "common/hot_path.hpp"
+#include "common/invariant.hpp"
 #include "common/rng.hpp"
 #include "common/thread_safety.hpp"
 #include "common/units.hpp"
@@ -89,7 +90,7 @@ class RequestGrantNode {
   // ---- intermediate role -------------------------------------------------
 
   /// Buffers a request received during the current epoch.
-  void receive_request(const Request& r)
+  SIRIUS_HOT void receive_request(const Request& r)
       SIRIUS_REQUIRES(common::sim_slot_role) {
     SIRIUS_INVARIANT(r.dst >= 0 && r.dst < cfg_.nodes && r.src >= 0 &&
                          r.src < cfg_.nodes,
@@ -105,10 +106,11 @@ class RequestGrantNode {
   /// random and issues grants subject to the queue bound.
   /// `queued_for(dst)` must return the current relay-queue depth for dst.
   template <typename QueuedFn>
-  std::vector<Grant> issue_grants(QueuedFn&& queued_for, Rng& rng)
+  SIRIUS_HOT std::vector<Grant> issue_grants(QueuedFn&& queued_for, Rng& rng)
       SIRIUS_REQUIRES(common::sim_slot_role) {
     shuffle_inbox(rng);
     std::vector<Grant> grants;
+    grants.reserve(inbox_.size());
     for (const Request& r : inbox_) {
       // Never grant towards, or to, a node this intermediate believes dead
       // (§4.5): the cell would blackhole on arrival. Stale requests from a
@@ -143,7 +145,7 @@ class RequestGrantNode {
   /// A granted cell arrived and was enqueued for `dst`. Every grant is
   /// settled exactly once (cell arrival or release), so the outstanding
   /// counter must be positive here — an underflow means double accounting.
-  void on_granted_cell_arrival(NodeId dst)
+  SIRIUS_HOT void on_granted_cell_arrival(NodeId dst)
       SIRIUS_REQUIRES(common::sim_slot_role) {
     auto& out = outstanding_[static_cast<std::size_t>(dst)];
     SIRIUS_INVARIANT(out > 0,
@@ -155,7 +157,8 @@ class RequestGrantNode {
   /// The source released an unusable grant for `dst`. Unlike cell arrival,
   /// duplicate releases are part of the contract (a source may redundantly
   /// release), so this clamps at zero instead of auditing.
-  void on_grant_release(NodeId dst) SIRIUS_REQUIRES(common::sim_slot_role) {
+  SIRIUS_HOT void on_grant_release(NodeId dst)
+      SIRIUS_REQUIRES(common::sim_slot_role) {
     auto& out = outstanding_[static_cast<std::size_t>(dst)];
     if (out > 0) --out;
     ++stat_releases_;

@@ -3,10 +3,7 @@
 #include <cmath>
 #include <utility>
 
-#include "check/invariant.hpp"
-#include "node/node.hpp"
-#include "node/reorder_buffer.hpp"
-#include "sched/schedule.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::check {
 
@@ -45,68 +42,6 @@ void audit_destination_permutation(const std::vector<NodeId>& dsts,
   }
 }
 
-void audit_slot_permutation(const sched::CyclicSchedule& sched,
-                            std::int64_t slot)
-    SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
-  // Contention-freeness is per uplink: for a fixed (u, slot) the src -> dst
-  // map is a bijection. Across uplinks a node legitimately receives up to
-  // U cells per slot (one per downlink), so each uplink is audited alone.
-  std::vector<NodeId> dsts;
-  dsts.reserve(static_cast<std::size_t>(sched.nodes()));
-  for (UplinkId u = 0; u < sched.uplinks(); ++u) {
-    dsts.clear();
-    for (NodeId raw = 0, seen = 0; seen < sched.nodes(); ++raw) {
-      if (!sched.is_member(raw)) continue;
-      ++seen;
-      const NodeId dst = sched.peer_tx(raw, u, slot);
-      if (dst == kInvalidNode) continue;
-      SIRIUS_INVARIANT(dst != raw, "schedule: node %d sends to itself at slot %lld",
-                       raw, static_cast<long long>(slot));
-      SIRIUS_INVARIANT(sched.is_member(dst),
-                       "schedule: node %d sends to non-member %d at slot %lld",
-                       raw, dst, static_cast<long long>(slot));
-      dsts.push_back(dst);
-    }
-    audit_destination_permutation(dsts, "schedule");
-  }
-
-  // rx consistency: every receiver that hears someone hears exactly the
-  // sender the tx map named (spot-checks the peer_rx inverse).
-  for (NodeId raw = 0, seen = 0; seen < sched.nodes(); ++raw) {
-    if (!sched.is_member(raw)) continue;
-    ++seen;
-    for (UplinkId u = 0; u < sched.uplinks(); ++u) {
-      const NodeId src = sched.peer_rx(raw, u, slot);
-      if (src == kInvalidNode) continue;
-      SIRIUS_INVARIANT(
-          sched.peer_tx(src, u, slot) == raw,
-          "schedule: peer_rx(%d, %d) = %d but peer_tx disagrees at slot %lld",
-          raw, u, src, static_cast<long long>(slot));
-    }
-  }
-}
-
-void audit_queue_bound(const node::Node& n, std::int32_t queue_limit,
-                       std::int32_t bound)
-    SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
-  const auto& cc = n.cc();
-  for (NodeId d = 0; d < static_cast<NodeId>(n.queue_span()); ++d) {
-    const std::int32_t fq = n.fq_depth(d);
-    const std::int32_t out = cc.outstanding(d);
-    SIRIUS_INVARIANT(fq >= 0 && out >= 0,
-                     "node %d: negative queue accounting for dst %d "
-                     "(fq %d, outstanding %d)",
-                     n.self(), d, fq, out);
-    SIRIUS_INVARIANT(out <= queue_limit,
-                     "node %d: %d outstanding grants for dst %d exceed Q=%d",
-                     n.self(), out, d, queue_limit);
-    SIRIUS_INVARIANT(fq + out <= bound,
-                     "node %d: relay queue for dst %d holds %d cells with %d "
-                     "outstanding grants, above the audited bound %d (Q=%d)",
-                     n.self(), d, fq, out, bound, queue_limit);
-  }
-}
-
 void audit_cell_conservation(std::int64_t injected, std::int64_t delivered,
                              std::int64_t queued, std::int64_t in_flight,
                              std::int64_t dropped) {
@@ -126,19 +61,6 @@ void audit_cell_conservation(std::int64_t injected, std::int64_t delivered,
       static_cast<long long>(injected), static_cast<long long>(delivered),
       static_cast<long long>(queued), static_cast<long long>(in_flight),
       static_cast<long long>(dropped));
-}
-
-void audit_reorder(const node::ReorderBuffer& rb) {
-  SIRIUS_INVARIANT(rb.next_expected() >= 0 &&
-                       rb.next_expected() <= rb.total_cells(),
-                   "reorder: in-order prefix %lld outside [0, %lld]",
-                   static_cast<long long>(rb.next_expected()),
-                   static_cast<long long>(rb.total_cells()));
-  SIRIUS_INVARIANT(
-      rb.buffered_cells() <= rb.total_cells() - rb.next_expected(),
-      "reorder: %lld cells buffered beyond the %lld still outstanding",
-      static_cast<long long>(rb.buffered_cells()),
-      static_cast<long long>(rb.total_cells() - rb.next_expected()));
 }
 
 void audit_in_order_release(const std::vector<std::int32_t>& released) {

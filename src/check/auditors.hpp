@@ -5,17 +5,21 @@
 // the end of every run, so a violated property is caught within one audit
 // period instead of surfacing later as a corrupted statistic.
 //
-// Each auditor states one paper property:
-//   * audit_slot_permutation — the §4.2 schedule connects each receiver to
-//     at most one sender per slot (contention-freeness);
-//   * audit_queue_bound — the §4.3 request/grant protocol keeps every
-//     per-destination relay queue within its bound;
+// This header holds the registry and the *structural* auditors — the ones
+// stated over plain values, below every module layer:
+//   * audit_destination_permutation — no destination appears twice in a
+//     slot's receiver list (the §4.2 contention-freeness core);
 //   * audit_cell_conservation — every cell taken from a source LOCAL buffer
 //     is delivered, queued, or on the wire (nothing duplicated or lost);
-//   * audit_reorder / audit_in_order_release — the receiver releases the
-//     in-order prefix and nothing else (§4.2 "Cell reordering");
+//   * audit_in_order_release — the receiver releases the in-order prefix
+//     and nothing else (§4.2 "Cell reordering");
 //   * audit_clock_offsets — after §4.4 sync convergence, mutual clock
 //     offsets stay inside the configured bound.
+//
+// Auditors over live module types live with their modules, so check/ never
+// depends upward (the layer-order lint rule enforces it):
+//   * sched/schedule_audit.hpp — audit_slot_permutation;
+//   * node/node_audit.hpp — audit_queue_bound, audit_reorder.
 #pragma once
 
 #include <cstdint>
@@ -23,16 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "common/thread_safety.hpp"
 #include "common/units.hpp"
-
-namespace sirius::node {
-class Node;
-class ReorderBuffer;
-}  // namespace sirius::node
-namespace sirius::sched {
-class CyclicSchedule;
-}  // namespace sirius::sched
 
 namespace sirius::check {
 
@@ -60,30 +55,10 @@ class AuditorRegistry {
 void audit_destination_permutation(const std::vector<NodeId>& dsts,
                                    const char* what);
 
-/// Audits slot `slot` of the schedule: the tx map over (member, uplink) is
-/// a partial permutation, destinations are members distinct from their
-/// source, and peer_rx inverts peer_tx.
-void audit_slot_permutation(const sched::CyclicSchedule& sched,
-                            std::int64_t slot)
-    SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
-
-/// Audits one node's per-destination relay (forward) queues against
-/// `bound` cells, and its grant accounting against `queue_limit` (the
-/// protocol Q). `bound` >= Q: with release-at-transmit grant accounting the
-/// conserved quantity is fq + outstanding + granted-cells-in-flight, so the
-/// queue alone may transiently hold up to Q plus the in-flight allowance
-/// (see SiriusSim::transmit_slot).
-void audit_queue_bound(const node::Node& n, std::int32_t queue_limit,
-                       std::int32_t bound)
-    SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
-
 /// Conservation: injected == delivered + queued + in_flight + dropped.
 void audit_cell_conservation(std::int64_t injected, std::int64_t delivered,
                              std::int64_t queued, std::int64_t in_flight,
                              std::int64_t dropped);
-
-/// Structural consistency of a live reorder buffer.
-void audit_reorder(const node::ReorderBuffer& rb);
 
 /// The sequence of released cell seqs must be strictly increasing (the
 /// in-order-release contract, checked from the outside).

@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius {
 
@@ -19,6 +19,8 @@ namespace sirius {
 class PercentileTracker {
  public:
   void add(double v) {
+    // Flow-completion-rate, not slot-rate: one push per finished flow,
+    // amortized geometric growth. sirius-lint: allow(hot-path-alloc)
     samples_.push_back(v);
     sorted_ = false;
   }

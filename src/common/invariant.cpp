@@ -1,4 +1,4 @@
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 #include <atomic>
 #include <cstdarg>

@@ -13,7 +13,7 @@
 #include <compare>
 #include <string>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius {
 

@@ -10,7 +10,7 @@
 #include <compare>
 #include <string>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 #include "common/time.hpp"
 
 namespace sirius {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::ctrl {
 

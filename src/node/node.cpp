@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::node {
 
@@ -23,6 +23,8 @@ void Node::add_flow(const LocalFlow& f) {
   local_.push_back(f);
   const std::size_t idx = local_.size() - 1;
   per_dst_[static_cast<std::size_t>(f.dst_node)].push_back(idx);
+  // Rotation re-queue, matched by the pop_front above.
+  // sirius-lint: allow(hot-path-alloc)
   spray_ready_.push_back(idx);
   ++unfinished_flows_;
 }
@@ -91,6 +93,8 @@ LocalFlow* Node::oldest_pending_flow_for(NodeId dst, Time now,
     q.pop_front();
     LocalFlow& f = local_[idx];
     if (f.exhausted()) continue;
+    // Deque rotation: pops are matched by pushes, so steady state
+    // reuses the same blocks. sirius-lint: allow(hot-path-alloc)
     q.push_back(idx);
     if (f.pending(now, cell_interval) > 0) return &f;
   }
@@ -220,9 +224,13 @@ std::optional<Cell> Node::take_any_cell(Time now, Time cell_interval) {
     if (f.exhausted()) continue;  // drop from rotation
     if (f.pending(now, cell_interval) > 0) {
       Cell c = cut_cell(f);
+      // Rotation re-queue, matched by the pop_front above.
+      // sirius-lint: allow(hot-path-alloc)
       if (!f.exhausted()) spray_ready_.push_back(idx);
       return c;
     }
+    // Rotation re-queue, matched by the pop_front above.
+    // sirius-lint: allow(hot-path-alloc)
     spray_ready_.push_back(idx);  // paced out; retry later
   }
   return std::nullopt;

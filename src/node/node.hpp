@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cc/request_grant.hpp"
+#include "common/hot_path.hpp"
 #include "common/thread_safety.hpp"
 #include "common/time.hpp"
 #include "node/cell.hpp"
@@ -89,12 +90,13 @@ class Node {
 
   /// On grant receipt: takes the oldest pending cell for `dst` out of
   /// LOCAL. Returns nullopt if no such cell exists (grant is released).
-  std::optional<Cell> take_cell_for(NodeId dst, Time now, Time cell_interval)
+  SIRIUS_HOT std::optional<Cell> take_cell_for(NodeId dst, Time now,
+                                               Time cell_interval)
       SIRIUS_REQUIRES(common::sim_slot_role);
 
   /// Takes the oldest pending cell for *any* destination (ideal /
   /// scheduler-less spraying mode). Returns nullopt when LOCAL is empty.
-  std::optional<Cell> take_any_cell(Time now, Time cell_interval)
+  SIRIUS_HOT std::optional<Cell> take_any_cell(Time now, Time cell_interval)
       SIRIUS_REQUIRES(common::sim_slot_role);
 
   /// Aborts every LOCAL flow matching `pred` (its destination died, or this
@@ -109,7 +111,8 @@ class Node {
   /// Re-queues a timed-out granted cell for retransmission. Retx cells are
   /// served before LOCAL by take_cell_for / pending_cell_dsts, so the next
   /// grant towards their destination re-covers the loss first.
-  void push_retx(const Cell& c) SIRIUS_REQUIRES(common::sim_slot_role);
+  SIRIUS_HOT void push_retx(const Cell& c)
+      SIRIUS_REQUIRES(common::sim_slot_role);
   [[nodiscard]] std::int64_t retx_total() const
       SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
     return retx_total_;
@@ -142,9 +145,9 @@ class Node {
 
   // ---- virtual queues towards intermediates (source role) ---------------
 
-  void push_vq(NodeId intermediate, const Cell& c)
+  SIRIUS_HOT void push_vq(NodeId intermediate, const Cell& c)
       SIRIUS_REQUIRES(common::sim_slot_role);
-  std::optional<Cell> pop_vq(NodeId intermediate)
+  SIRIUS_HOT std::optional<Cell> pop_vq(NodeId intermediate)
       SIRIUS_REQUIRES(common::sim_slot_role);
   [[nodiscard]] bool vq_empty(NodeId intermediate) const
       SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
@@ -158,9 +161,9 @@ class Node {
 
   // ---- forward queues per destination (intermediate role) ---------------
 
-  void push_fq(NodeId dst, const Cell& c)
+  SIRIUS_HOT void push_fq(NodeId dst, const Cell& c)
       SIRIUS_REQUIRES(common::sim_slot_role);
-  std::optional<Cell> pop_fq(NodeId dst)
+  SIRIUS_HOT std::optional<Cell> pop_fq(NodeId dst)
       SIRIUS_REQUIRES(common::sim_slot_role);
   [[nodiscard]] bool fq_empty(NodeId dst) const
       SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::node {
 
@@ -16,7 +16,11 @@ std::int64_t ReorderBuffer::on_arrival(std::int32_t seq, std::int32_t bytes) {
   if (bytes < 0) bytes = 0;
   if (seq < next_expected_) return 0;  // duplicate; ignore
   if (seq > next_expected_) {
-    if (pending_.insert(seq).second) {
+    const auto s = static_cast<std::size_t>(seq);
+    const std::uint64_t mask = std::uint64_t{1} << (s % 64);
+    if ((pending_[s / 64] & mask) == 0) {
+      pending_[s / 64] |= mask;
+      ++buffered_cells_;
       buffered_bytes_ += bytes;
       peak_bytes_ = std::max(peak_bytes_, buffered_bytes_);
     }
@@ -27,11 +31,13 @@ std::int64_t ReorderBuffer::on_arrival(std::int32_t seq, std::int32_t bytes) {
   // contract the destination relies on.
   std::int64_t released = 1;
   ++next_expected_;
-  auto it = pending_.begin();
-  while (it != pending_.end() && *it == next_expected_) {
+  while (next_expected_ < total_cells_ && pending_bit(
+             static_cast<std::int32_t>(next_expected_))) {
+    const auto s = static_cast<std::size_t>(next_expected_);
+    pending_[s / 64] &= ~(std::uint64_t{1} << (s % 64));
+    --buffered_cells_;
     ++next_expected_;
     ++released;
-    it = pending_.erase(it);
   }
   SIRIUS_INVARIANT(next_expected_ <= total_cells_,
                    "reorder: in-order prefix %lld ran past the flow's %lld "

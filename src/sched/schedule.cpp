@@ -4,7 +4,7 @@
 #include <cassert>
 #include <vector>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::sched {
 

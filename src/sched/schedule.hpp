@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hot_path.hpp"
 #include "common/thread_safety.hpp"
 #include "common/units.hpp"
 #include "topo/sirius_topology.hpp"
@@ -36,7 +37,7 @@ namespace sirius::sched {
 /// swap) and read on every slot, so lookups require only a *shared* hold of
 /// common::sim_slot_role: sharded slot workers may all read the calendar
 /// concurrently, while swapping it in will need the exclusive role.
-class CyclicSchedule {
+class CyclicSchedule final {
  public:
   CyclicSchedule(std::int32_t nodes, std::int32_t uplinks);
   /// Schedule over an explicit member set (sorted, unique, >= 2 entries).
@@ -63,12 +64,14 @@ class CyclicSchedule {
   /// Destination of node `src` on uplink `u` at global slot `t`, or
   /// kInvalidNode if that uplink is idle in this slot (padding when
   /// (N-1) is not a multiple of U).
-  [[nodiscard]] NodeId peer_tx(NodeId src, UplinkId u, std::int64_t t) const
+  [[nodiscard]] SIRIUS_HOT NodeId peer_tx(NodeId src, UplinkId u,
+                                          std::int64_t t) const
       SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
   /// Source heard by node `dst` on downlink `u` at slot `t`, or
   /// kInvalidNode when idle.
-  [[nodiscard]] NodeId peer_rx(NodeId dst, UplinkId u, std::int64_t t) const
+  [[nodiscard]] SIRIUS_HOT NodeId peer_rx(NodeId dst, UplinkId u,
+                                          std::int64_t t) const
       SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
 
   /// The (slot-in-round, uplink) at which `src` talks to `dst`. Each

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::sim {
 

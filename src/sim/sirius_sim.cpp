@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 #include "common/thread_safety.hpp"
+#include "node/node_audit.hpp"
+#include "sched/schedule_audit.hpp"
 
 namespace sirius::sim {
 
@@ -224,7 +226,7 @@ void SiriusSim::register_auditors() {
   // (no-op) role for its body.
   auditors_.register_auditor("schedule-permutation", [this] {
     common::SharedRoleLock slot_role(common::sim_slot_role);
-    check::audit_slot_permutation(sched_, audit_slot_);
+    sched::audit_slot_permutation(sched_, audit_slot_);
   });
 
   // The §4.3 queue bound. The grant accounting releases a token when the
@@ -238,7 +240,7 @@ void SiriusSim::register_auditors() {
       common::SharedRoleLock slot_role(common::sim_slot_role);
       const std::int32_t bound = cfg_.queue_limit + audit_flight_rounds_ + 1;
       for (const auto& n : nodes_) {
-        check::audit_queue_bound(n, cfg_.queue_limit, bound);
+        node::audit_queue_bound(n, cfg_.queue_limit, bound);
       }
     });
   }
@@ -270,7 +272,7 @@ void SiriusSim::register_auditors() {
     common::SharedRoleLock slot_role(common::sim_slot_role);
     for (const auto& rxp : rx_) {
       if (rxp != nullptr && !rxp->reorder.complete()) {
-        check::audit_reorder(rxp->reorder);
+        node::audit_reorder(rxp->reorder);
       }
     }
   });
@@ -666,6 +668,8 @@ void SiriusSim::transmit_slot(std::int64_t slot, Time now) {
 
 void SiriusSim::arm_retx_timer(const node::Cell& cell, NodeId src,
                                std::int64_t round) {
+  // Loss-recovery path only (a timer per lost cell), not the clean
+  // slot path. sirius-lint: allow(hot-path-alloc)
   retx_heap_.push_back(RetxTimer{round + retx_timeout_rounds(), cell, src});
   std::push_heap(retx_heap_.begin(), retx_heap_.end(), &SiriusSim::timer_later);
 }

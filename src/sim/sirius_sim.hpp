@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "check/auditors.hpp"
+#include "common/hot_path.hpp"
 #include "common/rng.hpp"
 #include "common/thread_safety.hpp"
 #include "ctrl/fault_plan.hpp"
@@ -246,11 +247,11 @@ class SiriusSim {
   void epoch_boundary(std::int64_t round, Time now)
       SIRIUS_REQUIRES(common::sim_slot_role);
   void inject_arrivals(Time now) SIRIUS_REQUIRES(common::sim_slot_role);
-  void land_arrivals(std::int64_t slot, Time now)
+  SIRIUS_HOT void land_arrivals(std::int64_t slot, Time now)
       SIRIUS_REQUIRES(common::sim_slot_role);
-  void transmit_slot(std::int64_t slot, Time now)
+  SIRIUS_HOT void transmit_slot(std::int64_t slot, Time now)
       SIRIUS_REQUIRES(common::sim_slot_role);
-  void deliver(const node::Cell& cell, Time now)
+  SIRIUS_HOT void deliver(const node::Cell& cell, Time now)
       SIRIUS_REQUIRES(common::sim_slot_role);
   void finish_flow(FlowId flow, Time completion)
       SIRIUS_REQUIRES(common::sim_slot_role);

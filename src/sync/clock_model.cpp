@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::sync {
 

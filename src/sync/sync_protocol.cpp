@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "check/auditors.hpp"
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::sync {
 

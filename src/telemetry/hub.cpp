@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 
 namespace sirius::telemetry {
 

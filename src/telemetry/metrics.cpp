@@ -2,7 +2,7 @@
 
 #include <fstream>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 #include "telemetry/json.hpp"
 
 namespace sirius::telemetry {

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include "check/auditors.hpp"
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 #include "node/node.hpp"
+#include "node/node_audit.hpp"
 #include "node/reorder_buffer.hpp"
 #include "sched/schedule.hpp"
+#include "sched/schedule_audit.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/sirius_sim.hpp"
 #include "workload/generator.hpp"
@@ -63,7 +65,7 @@ TEST(Auditors, RealScheduleAuditsClean) {
   const sched::CyclicSchedule sched(16, 3);
   ScopedCollect collect;
   for (std::int64_t slot = 0; slot < 2 * sched.slots_per_round(); ++slot) {
-    audit_slot_permutation(sched, slot);
+    sched::audit_slot_permutation(sched, slot);
   }
   EXPECT_EQ(collect.violations(), 0);
 }
@@ -72,7 +74,7 @@ TEST(Auditors, DegradedScheduleWithFailedMembersAuditsClean) {
   const sched::CyclicSchedule sched({0, 2, 3, 5, 6, 7, 9, 11}, 3);
   ScopedCollect collect;
   for (std::int64_t slot = 0; slot < sched.slots_per_round(); ++slot) {
-    audit_slot_permutation(sched, slot);
+    sched::audit_slot_permutation(sched, slot);
   }
   EXPECT_EQ(collect.violations(), 0);
 }
@@ -90,7 +92,7 @@ TEST(Auditors, OverfullRelayQueueIsReported) {
     n.push_fq(3, c);
   }
   ScopedCollect collect;
-  audit_queue_bound(n, cc_cfg.queue_limit, 3);
+  node::audit_queue_bound(n, cc_cfg.queue_limit, 3);
   EXPECT_EQ(collect.violations(), 1);
 }
 
@@ -104,7 +106,7 @@ TEST(Auditors, QueueWithinBoundAuditsClean) {
   c.payload_bytes = 512;
   n.push_fq(3, c);
   ScopedCollect collect;
-  audit_queue_bound(n, cc_cfg.queue_limit, 4);
+  node::audit_queue_bound(n, cc_cfg.queue_limit, 4);
   EXPECT_EQ(collect.violations(), 0);
 }
 
@@ -130,7 +132,7 @@ TEST(Auditors, ReorderBufferStateAuditsClean) {
   rb.on_arrival(2, 100);  // buffered out of order
   rb.on_arrival(0, 100);  // releases the prefix {0}
   ScopedCollect collect;
-  audit_reorder(rb);
+  node::audit_reorder(rb);
   EXPECT_EQ(collect.violations(), 0);
 }
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <set>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 #include "common/config.hpp"
 #include "common/distributions.hpp"
 #include "common/histogram.hpp"
@@ -285,7 +285,7 @@ TEST(PeakTracker, TracksPeakAndMean) {
   EXPECT_DOUBLE_EQ(p.mean(), 3.0);
 }
 
-// ---- overflow / divide-by-zero hardening (check/invariant.hpp) ----------
+// ---- overflow / divide-by-zero hardening (common/invariant.hpp) ----------
 // Each defensive path reports a SIRIUS_INVARIANT violation and saturates;
 // the tests run under ScopedCollect so the reports are counted, not fatal.
 

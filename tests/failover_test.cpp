@@ -7,7 +7,7 @@
 #include <set>
 
 #include "cc/request_grant.hpp"
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 #include "sched/schedule.hpp"
 #include "sim/sirius_sim.hpp"
 #include "workload/generator.hpp"

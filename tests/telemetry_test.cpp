@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "check/invariant.hpp"
+#include "common/invariant.hpp"
 #include "core/experiment.hpp"
 #include "sim/sirius_sim.hpp"
 #include "telemetry/hub.hpp"

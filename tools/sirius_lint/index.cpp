@@ -79,6 +79,19 @@ bool has_any_token(const std::string& s,
   return false;
 }
 
+/// Control keywords a misread definition head could surface as a
+/// "function" name; never record them as definitions or declarations (a
+/// phantom `if` entry would wire every if-statement into the call graph).
+bool is_cpp_keyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "else",    "for",      "while",         "do",
+      "switch", "case",    "default",  "return",        "break",
+      "continue", "goto",  "try",      "catch",         "throw",
+      "new",    "delete",  "sizeof",   "alignof",       "decltype",
+      "static_assert",     "co_await", "co_return",     "co_yield"};
+  return kKeywords.count(name) != 0;
+}
+
 /// Strips SIRIUS_* thread-safety macros and alignas(...) from a statement
 /// (with or without an argument list), so declarations classify the same
 /// annotated and bare. Sets *guarded when a (PT_)GUARDED_BY was present.
@@ -182,8 +195,11 @@ std::string decl_name(const std::string& decl) {
 struct Scope {
   enum Kind { kNamespace, kClass, kEnum, kFunction, kLoop, kBlock, kInit };
   Kind kind = kBlock;
-  std::string name;     // class name / function name
-  bool is_ctor = false; // Function scopes only
+  std::string name;       // class name / function name
+  bool is_ctor = false;   // Function scopes only
+  bool is_lambda = false; // Function scopes only: a lambda body (named after
+                          // its enclosing function so per-line attribution
+                          // and hot-path reachability see through it)
 };
 
 struct Pending {
@@ -233,9 +249,13 @@ class Scanner {
  private:
   void collect_includes(const std::string& raw) {
     static const std::regex re(R"re(^\s*#\s*include\s*"([^"]+)")re");
-    for (const std::string& ln : split_lines(raw)) {
+    const auto lines = split_lines(raw);
+    for (std::size_t li = 0; li < lines.size(); ++li) {
       std::smatch m;
-      if (std::regex_search(ln, m, re)) idx_.includes.push_back(m[1].str());
+      if (std::regex_search(lines[li], m, re)) {
+        idx_.includes.push_back(
+            IncludeEdge{m[1].str(), static_cast<int>(li) + 1});
+      }
     }
   }
 
@@ -333,9 +353,50 @@ class Scanner {
 
   void push_scope() {
     Pending& p = pendings_.back();
-    scopes_.push_back(classify_brace(trim(p.text)));
-    if (scopes_.back().kind == Scope::kLoop ||
-        scopes_.back().kind == Scope::kFunction) {
+    const std::string raw = trim(p.text);
+    const int head_line = p.first_line < 0 ? line_ : p.first_line;
+    scopes_.push_back(classify_brace(raw));
+    const Scope& s = scopes_.back();
+    if (s.kind == Scope::kFunction && !s.is_lambda && !s.name.empty() &&
+        !is_cpp_keyword(s.name)) {
+      FunctionDef fd;
+      fd.name = s.name;
+      fd.line = head_line + 1;
+      fd.hot = has_token(raw, "SIRIUS_HOT");
+      fd.signature = trim(strip_attr_macros(raw, nullptr));
+      // The defining scope, seen from outside this new function scope.
+      if (scopes_.size() >= 2) {
+        for (auto it = std::next(scopes_.rbegin()); it != scopes_.rend();
+             ++it) {
+          if (it->kind == Scope::kFunction || it->kind == Scope::kClass ||
+              it->kind == Scope::kNamespace) {
+            if (it->kind == Scope::kClass) fd.klass = it->name;
+            break;
+          }
+        }
+      }
+      idx_.fns.push_back(fd);
+      if (!fd.klass.empty()) {
+        // An in-class definition is also a declaration: record it so the
+        // virtual-dispatch rule sees inline-defined virtual methods.
+        MethodDecl md;
+        md.klass = fd.klass;
+        md.name = fd.name;
+        md.line = fd.line;
+        md.hot = fd.hot;
+        md.is_virtual = has_token(fd.signature, "virtual");
+        md.is_final = has_token(fd.signature, "final");
+        md.signature = fd.signature;
+        idx_.decls.push_back(md);
+      }
+    } else if (s.kind == Scope::kClass && !s.name.empty()) {
+      ClassDecl cd;
+      cd.name = s.name;
+      cd.line = head_line + 1;
+      cd.is_final = has_token(trim(strip_attr_macros(raw, nullptr)), "final");
+      idx_.classes.push_back(cd);
+    }
+    if (s.kind == Scope::kLoop || s.kind == Scope::kFunction) {
       // A loop / function opening on this line affects the rest of it.
       record_line_state(static_cast<std::size_t>(line_));
     }
@@ -354,6 +415,20 @@ class Scanner {
     }
   }
 
+  /// A lambda body counts as part of its enclosing function: per-line
+  /// attribution, ctor detection and hot-path reachability all see through
+  /// it (a lambda defined inside a hot function runs on the hot path).
+  void make_lambda(Scope& s) const {
+    s.kind = Scope::kFunction;
+    s.is_lambda = true;
+    if (const Scope* fn = innermost_fn()) {
+      s.name = fn->name;
+      s.is_ctor = fn->is_ctor;
+    } else {
+      s.name = "<lambda>";
+    }
+  }
+
   /// Decides what kind of scope a `{` opens, from the statement text
   /// accumulated since the last boundary. Mirrors the decision table in
   /// docs/STATIC_ANALYSIS.md; unknown shapes become transparent kInit so a
@@ -365,8 +440,7 @@ class Scanner {
       // or an initialiser-list argument. Both leave the outer statement
       // alone; a lambda additionally becomes the enclosing function.
       if (raw_pending.find('[') != std::string::npos) {
-        s.kind = Scope::kFunction;
-        s.name = "<lambda>";
+        make_lambda(s);
       } else {
         s.kind = Scope::kInit;
       }
@@ -412,7 +486,10 @@ class Scanner {
     }
     if (toks.front() == "if" || toks.front() == "switch" ||
         toks.front() == "else" || toks.front() == "try" ||
-        toks.front() == "catch") {
+        toks.front() == "catch" || toks.front() == "case" ||
+        toks.front() == "default") {
+      // `case X:` / `default:` prefixes mean a control brace inside a
+      // switch body, never a definition head.
       s.kind = Scope::kBlock;
       return s;
     }
@@ -420,8 +497,7 @@ class Scanner {
       // `x = [captures](args)` opens a lambda body; any other initialiser
       // brace is transparent.
       if (pending.find('[', eq) != std::string::npos) {
-        s.kind = Scope::kFunction;
-        s.name = "<lambda>";
+        make_lambda(s);
       } else {
         s.kind = Scope::kInit;
       }
@@ -492,7 +568,19 @@ class Scanner {
     const std::size_t eq = find_top_level(stmt, '=');
     const std::string decl =
         eq == std::string::npos ? stmt : trim(stmt.substr(0, eq));
-    if (find_top_level(decl, '(') != std::string::npos) return;  // fn decl
+    const std::size_t gparen = find_top_level(decl, '(');
+    if (gparen != std::string::npos) {  // free-function declaration
+      const auto head_toks = ident_tokens(trim(decl.substr(0, gparen)));
+      if (!head_toks.empty() && !is_cpp_keyword(head_toks.back())) {
+        MethodDecl md;
+        md.name = head_toks.back();
+        md.line = line0 + 1;
+        md.hot = has_token(raw, "SIRIUS_HOT");
+        md.signature = decl;
+        idx_.decls.push_back(md);
+      }
+      return;
+    }
     const std::string name = decl_name(decl);
     if (name.empty()) return;
     GlobalVar g;
@@ -539,7 +627,22 @@ class Scanner {
     }
     std::size_t eq = find_top_level(stmt, '=');
     std::string decl = eq == std::string::npos ? stmt : trim(stmt.substr(0, eq));
-    if (find_top_level(decl, '(') != std::string::npos) return;  // method
+    const std::size_t mparen = find_top_level(decl, '(');
+    if (mparen != std::string::npos) {  // method declaration
+      const auto head_toks = ident_tokens(trim(decl.substr(0, mparen)));
+      if (!head_toks.empty() && !is_cpp_keyword(head_toks.back())) {
+        MethodDecl md;
+        md.klass = klass;
+        md.name = head_toks.back();
+        md.line = line0 + 1;
+        md.hot = has_token(raw, "SIRIUS_HOT");
+        md.is_virtual = has_token(decl, "virtual");
+        md.is_final = has_token(decl, "final");
+        md.signature = decl;
+        idx_.decls.push_back(md);
+      }
+      return;
+    }
     const std::size_t colon = find_top_level(decl, ':');
     if (colon != std::string::npos) decl = trim(decl.substr(0, colon));  // bitfield
     const std::string name = decl_name(decl);
@@ -654,14 +757,23 @@ void rule_mutable_global(const std::vector<FileIndex>& files,
   }
 }
 
-void rule_unordered_sim_state(const std::vector<FileIndex>& files,
-                              std::vector<Violation>& out) {
-  // Sim-reachable = transitive closure of quoted-include edges starting
-  // from files under src/sim. Include targets resolve against both the
-  // real and the effective path of every scanned file (suffix match on
-  // path components, then bare basename).
+/// One resolved include edge: scanned-set index of the included file plus
+/// the 1-based line of the directive in the including file.
+struct ResolvedInclude {
+  std::size_t target = 0;
+  int line = 0;
+};
+
+/// Resolves every quoted include of every scanned file against the scanned
+/// set. Targets resolve against both the real and the effective path of
+/// every file (suffix match on path components, then unique-basename and
+/// bare-basename fallbacks). Self-edges (a file including its own name) are
+/// kept only when `keep_self` — the cycle rule wants them, reachability
+/// does not.
+std::vector<std::vector<ResolvedInclude>> resolve_includes(
+    const std::vector<FileIndex>& files, bool keep_self) {
   const std::size_t n = files.size();
-  std::vector<std::vector<std::size_t>> edges(n);
+  std::vector<std::vector<ResolvedInclude>> edges(n);
   std::map<std::string, std::vector<std::size_t>> by_basename;
   for (std::size_t i = 0; i < n; ++i) {
     by_basename[fs::path(files[i].path).filename().string()].push_back(i);
@@ -669,21 +781,30 @@ void rule_unordered_sim_state(const std::vector<FileIndex>& files,
         .push_back(i);
   }
   for (std::size_t i = 0; i < n; ++i) {
-    for (const std::string& inc : files[i].includes) {
-      const std::string base = fs::path(inc).filename().string();
+    for (const IncludeEdge& inc : files[i].includes) {
+      const std::string base = fs::path(inc.target).filename().string();
       const auto it = by_basename.find(base);
       if (it == by_basename.end()) continue;
       for (std::size_t j : it->second) {
-        if (j == i) continue;
-        if (path_ends_with(files[j].path, inc) ||
-            path_ends_with(files[j].effective_path, inc) ||
+        if (j == i && !keep_self) continue;
+        if (path_ends_with(files[j].path, inc.target) ||
+            path_ends_with(files[j].effective_path, inc.target) ||
             it->second.size() == 1 ||
-            fs::path(inc).filename() == inc) {
-          edges[i].push_back(j);
+            fs::path(inc.target).filename() == inc.target) {
+          edges[i].push_back(ResolvedInclude{j, inc.line});
         }
       }
     }
   }
+  return edges;
+}
+
+void rule_unordered_sim_state(const std::vector<FileIndex>& files,
+                              std::vector<Violation>& out) {
+  // Sim-reachable = transitive closure of quoted-include edges starting
+  // from files under src/sim.
+  const std::size_t n = files.size();
+  const auto edges = resolve_includes(files, /*keep_self=*/false);
   std::vector<char> reach(n, 0);
   std::vector<std::size_t> stack;
   for (std::size_t i = 0; i < n; ++i) {
@@ -695,10 +816,10 @@ void rule_unordered_sim_state(const std::vector<FileIndex>& files,
   while (!stack.empty()) {
     const std::size_t i = stack.back();
     stack.pop_back();
-    for (std::size_t j : edges[i]) {
-      if (!reach[j]) {
-        reach[j] = 1;
-        stack.push_back(j);
+    for (const ResolvedInclude& e : edges[i]) {
+      if (!reach[e.target]) {
+        reach[e.target] = 1;
+        stack.push_back(e.target);
       }
     }
   }
@@ -805,6 +926,400 @@ void rule_telemetry_escape(const std::vector<FileIndex>& files,
   }
 }
 
+// ---- hot-path call-graph rules ---------------------------------------------
+
+/// Names reachable from a SIRIUS_HOT function head over the conservative
+/// name-keyed call graph. Call sites are identifier-followed-by-`(`
+/// occurrences inside function bodies, filtered to names the scanned set
+/// defines or declares; same-named functions merge, so reachability
+/// over-approximates (a false positive is silenced with allow(), a miss
+/// would let an allocation into the slot kernel).
+struct HotClosure {
+  std::set<std::string> hot;
+};
+
+HotClosure build_hot_closure(const std::vector<FileIndex>& files) {
+  std::set<std::string> known;
+  std::set<std::string> seeds;
+  for (const FileIndex& f : files) {
+    for (const FunctionDef& fn : f.fns) {
+      known.insert(fn.name);
+      if (fn.hot) seeds.insert(fn.name);
+    }
+    for (const MethodDecl& d : f.decls) {
+      known.insert(d.name);
+      if (d.hot) seeds.insert(d.name);
+    }
+  }
+  static const std::regex call_re(R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+  std::map<std::string, std::set<std::string>> edges;
+  for (const FileIndex& f : files) {
+    for (std::size_t li = 0; li < f.lines.size(); ++li) {
+      const std::string& caller = f.enclosing_fn[li];
+      if (caller.empty()) continue;
+      for (auto it = std::sregex_iterator(f.lines[li].begin(),
+                                          f.lines[li].end(), call_re);
+           it != std::sregex_iterator(); ++it) {
+        const std::string callee = (*it)[1].str();
+        if (callee != caller && known.count(callee) != 0) {
+          edges[caller].insert(callee);
+        }
+      }
+    }
+  }
+  HotClosure hc;
+  hc.hot = seeds;
+  std::vector<std::string> stack(seeds.begin(), seeds.end());
+  while (!stack.empty()) {
+    const std::string cur = stack.back();
+    stack.pop_back();
+    const auto eit = edges.find(cur);
+    if (eit == edges.end()) continue;
+    for (const std::string& nxt : eit->second) {
+      if (hc.hot.insert(nxt).second) stack.push_back(nxt);
+    }
+  }
+  return hc;
+}
+
+bool line_is_hot(const HotClosure& hc, const FileIndex& f, std::size_t li) {
+  const std::string& fn = f.enclosing_fn[li];
+  return !fn.empty() && hc.hot.count(fn) != 0;
+}
+
+void rule_hot_path_alloc(const std::vector<FileIndex>& files,
+                         const HotClosure& hc, std::vector<Violation>& out) {
+  static const std::regex alloc_re(
+      R"(\bnew\b|\b(?:malloc|calloc|realloc)\s*\(|\bmake_(?:unique|shared)\s*<)");
+  static const std::regex func_re(R"(std\s*::\s*function\s*<)");
+  static const std::regex grow_re(
+      R"(\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\]\s*)*\.\s*(push_back|emplace_back|push_front|emplace_front|emplace|insert|resize)\s*\()");
+  static const std::regex presize_re(
+      R"(\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[[^\]]*\]\s*)*\.\s*(?:reserve|resize|assign)\s*\()");
+
+  // Pre-sizing sites anywhere in the scanned set exempt growth calls on the
+  // same base identifier (the reserve-in-ctor pattern). A line cannot exempt
+  // itself, so a bare hot-path resize still fires.
+  struct Site {
+    std::size_t file;
+    std::size_t line;
+  };
+  std::map<std::string, std::vector<Site>> presized;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (std::size_t li = 0; li < files[i].lines.size(); ++li) {
+      for (auto it = std::sregex_iterator(files[i].lines[li].begin(),
+                                          files[i].lines[li].end(), presize_re);
+           it != std::sregex_iterator(); ++it) {
+        presized[(*it)[1].str()].push_back(Site{i, li});
+      }
+    }
+  }
+  const auto exempt = [&presized](const std::string& base, std::size_t fi,
+                                  std::size_t li) {
+    const auto it = presized.find(base);
+    if (it == presized.end()) return false;
+    for (const Site& s : it->second) {
+      if (s.file != fi || s.line != li) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const FileIndex& f = files[i];
+    if (!f.kind.is_src) continue;
+    for (std::size_t li = 0; li < f.lines.size(); ++li) {
+      if (!line_is_hot(hc, f, li)) continue;
+      const std::string& text = f.lines[li];
+      const int line1 = static_cast<int>(li) + 1;
+      if (std::regex_search(text, alloc_re)) {
+        report(out, f, line1, "hot-path-alloc",
+               "heap allocation in `" + f.enclosing_fn[li] +
+                   "`, reachable from a SIRIUS_HOT entry point: the slot "
+                   "kernel must be pre-sized; allocate at construction or "
+                   "allow() with an ALLOWLIST.md entry");
+        continue;
+      }
+      if (std::regex_search(text, func_re) &&
+          text.find('&') == std::string::npos) {
+        report(out, f, line1, "hot-path-alloc",
+               "std::function construction in `" + f.enclosing_fn[li] +
+                   "`, reachable from a SIRIUS_HOT entry point: capture "
+                   "state at init and pass a reference, or devirtualize "
+                   "the callback");
+        continue;
+      }
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), grow_re);
+           it != std::sregex_iterator(); ++it) {
+        const std::string base = (*it)[1].str();
+        if (exempt(base, i, li)) continue;
+        report(out, f, line1, "hot-path-alloc",
+               "`" + base + "." + (*it)[2].str() + "()` in `" +
+                   f.enclosing_fn[li] +
+                   "`, reachable from a SIRIUS_HOT entry point, grows a "
+                   "container with no reserve()/resize() site anywhere in "
+                   "the tree: pre-size it at construction or allow() with "
+                   "an ALLOWLIST.md entry");
+      }
+    }
+  }
+}
+
+void rule_hot_path_virtual(const std::vector<FileIndex>& files,
+                           const HotClosure& hc, std::vector<Violation>& out) {
+  // Classes marked final anywhere in the scanned set.
+  std::set<std::string> final_classes;
+  for (const FileIndex& f : files) {
+    for (const ClassDecl& c : f.classes) {
+      if (c.is_final) final_classes.insert(c.name);
+    }
+  }
+  // Devirtualizable = declared virtual, not a final method, not on a final
+  // class. Ctors/dtors (name == class) are skipped: constructing on the hot
+  // path is the alloc rule's business.
+  std::map<std::string, std::string> virtuals;  // name -> Klass::name
+  for (const FileIndex& f : files) {
+    for (const MethodDecl& d : f.decls) {
+      if (!d.is_virtual || d.is_final || d.name == d.klass) continue;
+      if (final_classes.count(d.klass) != 0) continue;
+      virtuals.emplace(d.name, d.klass.empty() ? d.name
+                                               : d.klass + "::" + d.name);
+    }
+  }
+  if (virtuals.empty()) return;
+  static const std::regex call_re(R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+  for (const FileIndex& f : files) {
+    if (!f.kind.is_src) continue;
+    for (std::size_t li = 0; li < f.lines.size(); ++li) {
+      if (!line_is_hot(hc, f, li)) continue;
+      for (auto it = std::sregex_iterator(f.lines[li].begin(),
+                                          f.lines[li].end(), call_re);
+           it != std::sregex_iterator(); ++it) {
+        const auto vit = virtuals.find((*it)[1].str());
+        if (vit == virtuals.end()) continue;
+        report(out, f, static_cast<int>(li) + 1, "hot-path-virtual",
+               "call to virtual `" + vit->second + "` in `" +
+                   f.enclosing_fn[li] +
+                   "`, reachable from a SIRIUS_HOT entry point: mark the "
+                   "method or its class `final` so the slot kernel "
+                   "dispatches statically, or allow() with an ALLOWLIST.md "
+                   "entry");
+        break;  // one report per line
+      }
+    }
+  }
+}
+
+void rule_hot_path_throw(const std::vector<FileIndex>& files,
+                         const HotClosure& hc, std::vector<Violation>& out) {
+  static const std::regex throw_re(
+      R"(\bthrow\b|\.\s*at\s*\(|\b(?:printf|fprintf|sprintf|snprintf|puts|fputs)\s*\(|std\s*::\s*(?:cout|cerr|clog)\b)");
+  for (const FileIndex& f : files) {
+    if (!f.kind.is_src) continue;
+    for (std::size_t li = 0; li < f.lines.size(); ++li) {
+      if (!line_is_hot(hc, f, li)) continue;
+      if (!std::regex_search(f.lines[li], throw_re)) continue;
+      report(out, f, static_cast<int>(li) + 1, "hot-path-throw",
+             "throw/stdio in `" + f.enclosing_fn[li] +
+                 "`, reachable from a SIRIUS_HOT entry point: the slot "
+                 "kernel cannot unwind or block on I/O; report through "
+                 "bound instruments or the invariant sink instead");
+    }
+  }
+}
+
+void rule_hot_path_copy(const std::vector<FileIndex>& files,
+                        const HotClosure& hc, std::vector<Violation>& out) {
+  for (const FileIndex& f : files) {
+    if (!f.kind.is_src) continue;
+    for (const FunctionDef& fn : f.fns) {
+      if (hc.hot.count(fn.name) == 0) continue;
+      const std::size_t open = fn.signature.find('(');
+      if (open == std::string::npos) continue;
+      // Matching close paren of the parameter list.
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      for (std::size_t k = open; k < fn.signature.size(); ++k) {
+        if (fn.signature[k] == '(') ++depth;
+        if (fn.signature[k] == ')' && --depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (close == std::string::npos || close <= open + 1) continue;
+      const std::string params = strip_angle_contents(
+          fn.signature.substr(open + 1, close - open - 1));
+      // Split on top-level commas.
+      std::vector<std::string> parts;
+      depth = 0;
+      std::size_t start = 0;
+      for (std::size_t k = 0; k <= params.size(); ++k) {
+        if (k == params.size() || (params[k] == ',' && depth == 0)) {
+          parts.push_back(trim(params.substr(start, k - start)));
+          start = k + 1;
+        } else if (params[k] == '(' || params[k] == '[') {
+          ++depth;
+        } else if (params[k] == ')' || params[k] == ']') {
+          --depth;
+        }
+      }
+      for (const std::string& p : parts) {
+        if (p.find('&') != std::string::npos ||
+            p.find('*') != std::string::npos) {
+          continue;
+        }
+        if (has_any_token(p, {"vector", "map", "set", "deque", "string",
+                              "function", "unordered_map", "unordered_set",
+                              "multimap", "multiset"})) {
+          report(out, f, fn.line, "hot-path-copy",
+                 "parameter `" + p + "` of SIRIUS_HOT-reachable `" + fn.name +
+                     "` passes an indexed container by value: take it by "
+                     "const reference so the slot kernel never deep-copies");
+        }
+      }
+    }
+  }
+}
+
+// ---- layering rules --------------------------------------------------------
+
+/// The declared layer matrix (docs/ARCHITECTURE.md). An include is legal
+/// iff it stays in its own directory or targets a strictly lower rank.
+const std::map<std::string, int>& layer_ranks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0},    {"check", 1},    {"optical", 2},  {"fec", 2},
+      {"frame", 2},     {"powercost", 2}, {"workload", 2}, {"sync", 2},
+      {"telemetry", 2}, {"topo", 3},     {"phy", 3},      {"stats", 3},
+      {"cc", 3},        {"node", 4},     {"sched", 4},    {"ctrl", 4},
+      {"sim", 5},       {"esn", 6},      {"core", 7}};
+  return kRanks;
+}
+
+/// First `src/<layer>` component of an effective path, "" when not under a
+/// known layer.
+std::string layer_of(const std::string& p) {
+  const fs::path norm = fs::path(p).lexically_normal();
+  for (auto it = norm.begin(); it != norm.end(); ++it) {
+    if (*it != "src") continue;
+    const auto next = std::next(it);
+    if (next == norm.end()) return "";
+    const std::string layer = next->string();
+    return layer_ranks().count(layer) != 0 ? layer : "";
+  }
+  return "";
+}
+
+void rule_layer_order(const std::vector<FileIndex>& files,
+                      std::vector<Violation>& out) {
+  const auto& ranks = layer_ranks();
+  for (const FileIndex& f : files) {
+    const std::string src_layer = layer_of(f.effective_path);
+    if (src_layer.empty()) continue;
+    const int src_rank = ranks.at(src_layer);
+    for (const IncludeEdge& inc : f.includes) {
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;  // sibling include
+      const std::string tgt_layer = inc.target.substr(0, slash);
+      const auto rit = ranks.find(tgt_layer);
+      if (rit == ranks.end()) continue;
+      if (tgt_layer == src_layer || rit->second < src_rank) continue;
+      report(out, f, inc.line, "layer-order",
+             "#include \"" + inc.target + "\" makes layer `" + src_layer +
+                 "` (rank " + std::to_string(src_rank) +
+                 ") depend upward on `" + tgt_layer + "` (rank " +
+                 std::to_string(rit->second) +
+                 "): the declared matrix only allows downward includes; "
+                 "invert the dependency or move the shared type down");
+    }
+  }
+}
+
+void rule_include_cycle(const std::vector<FileIndex>& files,
+                        std::vector<Violation>& out) {
+  const std::size_t n = files.size();
+  const auto edges = resolve_includes(files, /*keep_self=*/true);
+  // Iterative DFS; an edge into a grey node closes a cycle.
+  std::vector<int> color(n, 0);  // 0 white, 1 grey, 2 black
+  struct Frame {
+    std::size_t node;
+    std::size_t next;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    if (color[r] != 0) continue;
+    std::vector<Frame> st{Frame{r, 0}};
+    color[r] = 1;
+    while (!st.empty()) {
+      const std::size_t node = st.back().node;
+      if (st.back().next >= edges[node].size()) {
+        color[node] = 2;
+        st.pop_back();
+        continue;
+      }
+      const ResolvedInclude e = edges[node][st.back().next++];
+      if (color[e.target] == 1) {
+        report(out, files[node], e.line, "include-cycle",
+               "#include here closes an include cycle back through `" +
+                   files[e.target].path +
+                   "`: break the cycle with a forward declaration or by "
+                   "moving the shared type down a layer");
+      } else if (color[e.target] == 0) {
+        color[e.target] = 1;
+        st.push_back(Frame{e.target, 0});
+      }
+    }
+  }
+}
+
+void rule_duplicate_include(const std::vector<FileIndex>& files,
+                            std::vector<Violation>& out) {
+  for (const FileIndex& f : files) {
+    std::map<std::string, int> first;
+    for (const IncludeEdge& inc : f.includes) {
+      const auto [it, fresh] = first.emplace(inc.target, inc.line);
+      if (fresh) continue;
+      report(out, f, inc.line, "duplicate-include",
+             "duplicate #include \"" + inc.target + "\" (first at line " +
+                 std::to_string(it->second) + ")");
+    }
+  }
+}
+
+void rule_dead_public_symbol(const std::vector<FileIndex>& files,
+                             std::vector<Violation>& out) {
+  // declared[name] = decl + definition-head records; seen[name] = token
+  // occurrences across every scrubbed line. A symbol with no occurrence
+  // beyond its own declarations has no call site in the scanned set.
+  std::map<std::string, long> declared;
+  for (const FileIndex& f : files) {
+    for (const MethodDecl& d : f.decls) ++declared[d.name];
+    for (const FunctionDef& fn : f.fns) ++declared[fn.name];
+  }
+  std::map<std::string, long> seen;
+  static const std::regex ident_re(R"([A-Za-z_][A-Za-z0-9_]*)");
+  for (const FileIndex& f : files) {
+    for (const std::string& line : f.lines) {
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), ident_re);
+           it != std::sregex_iterator(); ++it) {
+        const std::string tok = it->str();
+        const auto dit = declared.find(tok);
+        if (dit != declared.end()) ++seen[tok];
+      }
+    }
+  }
+  for (const FileIndex& f : files) {
+    if (!f.kind.is_header || !under_src(f.effective_path, {})) continue;
+    for (const MethodDecl& d : f.decls) {
+      if (d.name.empty() || d.name == d.klass) continue;  // ctor/dtor
+      if (seen[d.name] <= declared[d.name]) {
+        report(out, f, d.line, "dead-public-symbol",
+               "public symbol `" +
+                   (d.klass.empty() ? d.name : d.klass + "::" + d.name) +
+                   "` has no call site in the scanned tree: remove it or "
+                   "keep it deliberately with allow(dead-public-symbol)");
+      }
+    }
+  }
+}
+
 // ---- allowlist sync --------------------------------------------------------
 
 struct AllowEntry {
@@ -895,7 +1410,8 @@ FileIndex index_text(const std::string& text, const std::string& reported_path,
 }
 
 std::vector<Violation> evaluate_tree(const std::vector<FileIndex>& files,
-                                     const std::string& allowlist_path) {
+                                     const std::string& allowlist_path,
+                                     const EvalOptions& opts) {
   std::vector<Violation> out;
   rule_mutable_global(files, out);
   rule_unordered_sim_state(files, out);
@@ -903,6 +1419,17 @@ std::vector<Violation> evaluate_tree(const std::vector<FileIndex>& files,
   rule_shared_mutable_ref(files, out);
   rule_float_reduction(files, out);
   rule_telemetry_escape(files, out);
+  const HotClosure hc = build_hot_closure(files);
+  rule_hot_path_alloc(files, hc, out);
+  rule_hot_path_virtual(files, hc, out);
+  rule_hot_path_throw(files, hc, out);
+  rule_hot_path_copy(files, hc, out);
+  rule_layer_order(files, out);
+  rule_include_cycle(files, out);
+  rule_duplicate_include(files, out);
+  if (opts.dead_symbols) {
+    rule_dead_public_symbol(files, out);
+  }
   if (!allowlist_path.empty()) {
     rule_allowlist_sync(files, allowlist_path, out);
   }

@@ -65,15 +65,56 @@ struct AllowSite {
   std::string rule;
 };
 
+/// One quoted `#include "target"` directive.
+struct IncludeEdge {
+  std::string target;
+  int line = 0;  ///< 1-based
+};
+
+/// A function definition head (free function, out-of-line method, or
+/// in-class inline method). Keyed by unqualified name: the call graph in
+/// pass 2 is deliberately name-conservative (same-named functions merge),
+/// so hot-path reachability over-approximates rather than misses.
+struct FunctionDef {
+  std::string klass;  ///< enclosing class when defined in-class ("" else)
+  std::string name;   ///< unqualified name
+  int line = 0;       ///< 1-based line of the definition head
+  bool hot = false;   ///< head carries SIRIUS_HOT
+  std::string signature;  ///< head text, macros stripped (for the copy rule)
+};
+
+/// A `;`-terminated function/method declaration (class body or namespace
+/// scope). Feeds hot-root marking, the virtual-dispatch rule, and the
+/// dead-public-symbol report.
+struct MethodDecl {
+  std::string klass;  ///< "" for free-function declarations
+  std::string name;
+  int line = 0;  ///< 1-based
+  bool hot = false;
+  bool is_virtual = false;
+  bool is_final = false;
+  std::string signature;  ///< declaration text, macros stripped
+};
+
+/// A class/struct definition head.
+struct ClassDecl {
+  std::string name;
+  int line = 0;          ///< 1-based
+  bool is_final = false;
+};
+
 /// Everything pass 1 knows about one file.
 struct FileIndex {
   std::string path;            ///< real path (reported in violations)
   std::string effective_path;  ///< classification path (--classify-as)
   FileKind kind;
-  std::vector<std::string> includes;  ///< quoted #include targets
+  std::vector<IncludeEdge> includes;  ///< quoted #include targets
   std::vector<Field> fields;
   std::vector<GlobalVar> globals;
   std::vector<AllowSite> allows;
+  std::vector<FunctionDef> fns;      ///< function definition heads
+  std::vector<MethodDecl> decls;     ///< `;`-terminated fn/method decls
+  std::vector<ClassDecl> classes;    ///< class/struct definition heads
   std::vector<std::string> float_names;  ///< declared double/float idents
   // Per-line structural context, 0-based, parallel to `lines`.
   std::vector<std::string> lines;         ///< scrubbed code lines
@@ -89,10 +130,19 @@ struct FileIndex {
 FileIndex index_text(const std::string& text, const std::string& reported_path,
                      const std::string& effective_path, const FileKind& kind);
 
+/// Optional pass-2 analyses (CLI flags).
+struct EvalOptions {
+  /// Emit the dead-public-symbol report (off by default: it is a review
+  /// aid, not a gate — a symbol used only outside the scanned set would
+  /// be a false positive in a partial scan).
+  bool dead_symbols = false;
+};
+
 /// Pass 2: evaluates the cross-file shard-safety rules over the merged
 /// index. `allowlist_path` enables the ALLOWLIST.md sync check when
 /// non-empty. Suppression comments are honoured exactly like pass-1 rules.
 std::vector<Violation> evaluate_tree(const std::vector<FileIndex>& files,
-                                     const std::string& allowlist_path);
+                                     const std::string& allowlist_path,
+                                     const EvalOptions& opts = {});
 
 }  // namespace sirius::lint

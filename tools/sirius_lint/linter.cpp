@@ -147,6 +147,28 @@ constexpr RuleInfo kPass2Rules[] = {
     {"allowlist-sync",
      "every sirius-lint: allow(...) site must be recorded in "
      "tools/sirius_lint/ALLOWLIST.md, and vice versa"},
+    {"hot-path-alloc",
+     "no heap allocation, container growth on unreserved containers, or "
+     "std::function construction reachable from a SIRIUS_HOT entry point"},
+    {"hot-path-virtual",
+     "no virtual dispatch through non-final methods/classes reachable from "
+     "a SIRIUS_HOT entry point"},
+    {"hot-path-throw",
+     "no throw / .at() / stdio reachable from a SIRIUS_HOT entry point"},
+    {"hot-path-copy",
+     "SIRIUS_HOT-reachable functions must not take indexed containers by "
+     "value"},
+    {"layer-order",
+     "quoted includes in src/ must follow the declared layer matrix "
+     "(common -> check -> leaf modules -> node/sched/ctrl -> sim -> esn -> "
+     "core); upward includes are banned"},
+    {"include-cycle",
+     "the quoted-include graph of the scanned set must be acyclic"},
+    {"duplicate-include",
+     "a file must not include the same quoted target twice"},
+    {"dead-public-symbol",
+     "(--dead-symbols) symbols declared in src/ headers with no call site "
+     "in the scanned tree are reported for review"},
 };
 
 }  // namespace
