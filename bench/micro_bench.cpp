@@ -13,8 +13,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/rng.hpp"
 #include "fec/reed_solomon.hpp"
 #include "frame/cell_frame.hpp"
@@ -195,7 +197,55 @@ int run_summary(const char* path) {
   struct rusage ru {};
   getrusage(RUSAGE_SELF, &ru);  // ru_maxrss is KiB on Linux
 
-  char buf[1024];
+  // Checkpoint cost: capture one mid-run `sirius.ckpt.v1` payload, then
+  // time the full write path (serialize + frame + fsync + atomic rename)
+  // and the restore path against a live mid-run state.
+  std::string snap;
+  {
+    sim::SiriusSimConfig ck_cfg = cfg;
+    ck_cfg.checkpoint_every = Time::us(500);
+    ck_cfg.checkpoint_sink = [&snap](std::int64_t, Time,
+                                     const std::string& payload) {
+      if (snap.empty()) snap = payload;
+    };
+    sim::SiriusSim capture(ck_cfg, w);
+    (void)capture.run();
+  }
+  double ckpt_write_ns = 0.0;
+  double ckpt_restore_ns = 0.0;
+  if (!snap.empty()) {
+    sim::SiriusSim probe(cfg, w);
+    std::string err;
+    if (probe.restore_state(snap, &err)) {
+      const std::filesystem::path tmp =
+          std::filesystem::temp_directory_path() / "sirius_micro_bench.ckpt";
+      constexpr int kIters = 10;
+      const auto w0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) {
+        if (!ckpt::save(tmp, probe.checkpoint_state(), &err)) break;
+      }
+      const auto w1 = std::chrono::steady_clock::now();
+      ckpt_write_ns =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(w1 - w0)
+                  .count()) /
+          kIters;
+      const auto r0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) {
+        if (!probe.restore_state(snap, &err)) break;
+      }
+      const auto r1 = std::chrono::steady_clock::now();
+      ckpt_restore_ns =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(r1 - r0)
+                  .count()) /
+          kIters;
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+    }
+  }
+
+  char buf[1536];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
@@ -207,6 +257,9 @@ int run_summary(const char* path) {
       "  \"wall_ns\": %.0f,\n"
       "  \"cells_per_sec\": %.1f,\n"
       "  \"wall_ns_per_slot\": %.2f,\n"
+      "  \"ckpt_bytes\": %lld,\n"
+      "  \"ckpt_write_ns\": %.0f,\n"
+      "  \"ckpt_restore_ns\": %.0f,\n"
       "  \"peak_rss_kb\": %lld\n"
       "}\n",
       cfg.racks, static_cast<long long>(g.flow_count),
@@ -214,6 +267,7 @@ int run_summary(const char* path) {
       static_cast<long long>(r.cells_delivered), wall_ns,
       static_cast<double>(r.cells_delivered) * 1e9 / wall_ns,
       wall_ns / static_cast<double>(r.slots_simulated),
+      static_cast<long long>(snap.size()), ckpt_write_ns, ckpt_restore_ns,
       static_cast<long long>(ru.ru_maxrss));
 
   if (path == nullptr) {

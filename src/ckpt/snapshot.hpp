@@ -1,0 +1,32 @@
+// The serialize/restore interface checkpointable state implements.
+//
+// Modules at layer rank >= 3 (stats, cc, node, sched, ctrl, sim) expose
+// their private state to checkpoints by implementing this interface as
+// ordinary member functions; the leaf types below rank 3 (Rng, Histogram,
+// telemetry counters) instead expose plain state accessors and are
+// serialized *by* their owners, which keeps the layer matrix acyclic
+// (ckpt sits at rank 2, so rank <= 2 code cannot include it).
+//
+// Contract: `restore(serialize(x))` must reproduce the object so exactly
+// that continuing the simulation is bit-identical to never having
+// checkpointed — including RNG streams, float accumulation order and
+// container iteration order. `restore` must never exhibit UB on hostile
+// input: decode through the bounds-checked Reader, validate semantic
+// ranges, and report failure via `Reader::fail`.
+#pragma once
+
+#include "ckpt/io.hpp"
+
+namespace sirius::ckpt {
+
+class Snapshottable {
+ public:
+  virtual void serialize(Writer& w) const = 0;
+  /// Returns false (with the diagnostic latched in `r`) on malformed input.
+  virtual bool restore(Reader& r) = 0;
+
+ protected:
+  ~Snapshottable() = default;
+};
+
+}  // namespace sirius::ckpt

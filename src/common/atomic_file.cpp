@@ -1,0 +1,107 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+namespace sirius {
+
+namespace {
+
+void set_error(std::string* error, const std::filesystem::path& path,
+               const char* what) {
+  if (error == nullptr) return;
+  *error = std::string(what) + ": " + path.string();
+  if (errno != 0) {
+    *error += " (";
+    *error += std::strerror(errno);
+    *error += ")";
+  }
+}
+
+// fsync a path (file or directory) by fd; returns false on failure.
+bool fsync_path(const std::filesystem::path& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::filesystem::path& path,
+                       std::string_view contents, std::string* error) {
+  errno = 0;
+  if (path.empty()) {
+    set_error(error, path, "atomic write: empty path");
+    return false;
+  }
+  // Temp file must live on the same filesystem as the destination for the
+  // rename to be atomic, so it is a sibling, not /tmp.
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      set_error(error, tmp, "atomic write: cannot open temp file");
+      return false;
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      set_error(error, tmp, "atomic write: short write");
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      return false;
+    }
+  }
+  if (!fsync_path(tmp, O_WRONLY)) {
+    set_error(error, tmp, "atomic write: fsync failed");
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "atomic write: rename to " + path.string() +
+               " failed (" + ec.message() + ")";
+    }
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return false;
+  }
+  // Persist the rename itself. A directory that cannot be fsync'd (some
+  // filesystems) is not fatal: the data file is already durable.
+  const auto dir = path.has_parent_path() ? path.parent_path()
+                                          : std::filesystem::path(".");
+  (void)fsync_path(dir, O_RDONLY);
+  return true;
+}
+
+bool read_file(const std::filesystem::path& path, std::string* out,
+               std::string* error) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    set_error(error, path, "cannot open file");
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    set_error(error, path, "read failed");
+    return false;
+  }
+  *out = std::move(data);
+  return true;
+}
+
+}  // namespace sirius

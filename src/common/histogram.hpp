@@ -60,6 +60,13 @@ class PercentileTracker {
   /// Read-only access to the raw samples (unsorted order not guaranteed).
   const std::vector<double>& samples() const { return samples_; }
 
+  /// Checkpoint restore: replaces the sample set wholesale, preserving the
+  /// stored order so later mean() float accumulation is bit-identical.
+  void set_samples(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_ = false;
+  }
+
  private:
   void sort_if_needed() {
     if (!sorted_) {
@@ -99,6 +106,19 @@ class Histogram {
                      static_cast<double>(counts_.size());
   }
   double bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+  /// Raw bin counts, for checkpoint capture.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Checkpoint restore: replaces the bin counts wholesale (geometry must
+  /// match the constructed histogram). Returns false on a size mismatch.
+  bool set_counts(const std::vector<std::uint64_t>& counts) {
+    if (counts.size() != counts_.size()) return false;
+    counts_ = counts;
+    total_ = 0;
+    for (const auto c : counts_) total_ += static_cast<std::size_t>(c);
+    return true;
+  }
 
   /// Cumulative fraction of samples at or below the upper edge of `bin`.
   double cdf_at(std::size_t bin) const {

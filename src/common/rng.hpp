@@ -82,6 +82,18 @@ class Rng {
   /// per-entity randomness does not depend on iteration order elsewhere.
   Rng fork() { return Rng{(*this)() ^ 0x9e3779b97f4a7c15ull}; }
 
+  /// Exposes the raw 256-bit engine state so a checkpoint can capture the
+  /// stream mid-sequence and resume it exactly (reseed() would restart it).
+  struct State {
+    std::uint64_t s[4];
+  };
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

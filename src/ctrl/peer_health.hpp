@@ -25,12 +25,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "common/units.hpp"
 
 namespace sirius::ctrl {
 
 /// One observer's consecutive-miss run per peer (the §4.5 detector).
-class PeerHealth {
+class PeerHealth : public ckpt::Snapshottable {
  public:
   PeerHealth(std::int32_t peers, std::int32_t miss_threshold);
 
@@ -62,6 +63,11 @@ class PeerHealth {
   /// Forget everything about `peer` (administrative rejoin).
   void reset(NodeId peer);
 
+  /// Snapshottable: miss runs, declarations and lifetime stats, so a
+  /// restored detector is mid-run exactly where the original was.
+  void serialize(ckpt::Writer& w) const override;
+  bool restore(ckpt::Reader& r) override;
+
  private:
   std::int32_t threshold_;
   std::vector<std::int32_t> misses_;
@@ -72,7 +78,7 @@ class PeerHealth {
 
 /// One node's view of every directed link, merged in-band (§4.5
 /// "failed-set piggybacked on every outgoing cell").
-class MembershipView {
+class MembershipView : public ckpt::Snapshottable {
  public:
   /// `quorum`: distinct observers required to convict a node (>= 1).
   MembershipView(std::int32_t racks, NodeId owner, std::int32_t quorum);
@@ -112,6 +118,12 @@ class MembershipView {
   /// Monotone revision: bumps on every observable change. Equal revisions
   /// from the same owner mean identical content (merge short-circuit).
   [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
+  /// Snapshottable: the full versioned opinion matrix, vote tallies and
+  /// merge short-circuit cursors (revisions included — they decide future
+  /// merge outcomes, so they must survive a restore bit-exactly).
+  void serialize(ckpt::Writer& w) const override;
+  bool restore(ckpt::Reader& r) override;
 
  private:
   struct LinkState {

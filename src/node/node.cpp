@@ -1,6 +1,7 @@
 #include "node/node.hpp"
 
 #include <cassert>
+#include <string>
 
 #include "common/invariant.hpp"
 
@@ -262,6 +263,165 @@ std::optional<Cell> Node::pop_fq(NodeId dst) {
   q.pop_front();
   gauge_.remove(cell_capacity_);
   return c;
+}
+
+
+namespace {
+
+void put_cell(ckpt::Writer& w, const Cell& c) {
+  w.i64(c.flow);
+  w.i32(c.seq);
+  w.i32(c.dst_node);
+  w.i32(c.dst_server);
+  w.i32(c.payload_bytes);
+  w.i32(c.retries);
+}
+
+Cell get_cell(ckpt::Reader& r) {
+  Cell c;
+  c.flow = r.i64();
+  c.seq = r.i32();
+  c.dst_node = r.i32();
+  c.dst_server = r.i32();
+  c.payload_bytes = r.i32();
+  c.retries = r.i32();
+  return c;
+}
+
+void put_cell_queues(ckpt::Writer& w,
+                     const std::vector<std::deque<Cell>>& queues) {
+  w.u64(queues.size());
+  for (const auto& q : queues) {
+    w.u64(q.size());
+    for (const Cell& c : q) put_cell(w, c);
+  }
+}
+
+bool get_cell_queues(ckpt::Reader& r, std::vector<std::deque<Cell>>* queues,
+                     const char* what) {
+  const std::size_t n = r.count(8, what);
+  if (!r.ok() || n != queues->size()) {
+    r.fail(std::string(what) + " queue count does not match the node count");
+    return false;
+  }
+  for (auto& q : *queues) {
+    q.clear();
+    const std::size_t m = r.count(24, what);
+    for (std::size_t i = 0; i < m; ++i) q.push_back(get_cell(r));
+  }
+  return r.ok();
+}
+
+void put_index_deque(ckpt::Writer& w, const std::deque<std::size_t>& d) {
+  w.u64(d.size());
+  for (const std::size_t v : d) w.u64(static_cast<std::uint64_t>(v));
+}
+
+bool get_index_deque(ckpt::Reader& r, std::deque<std::size_t>* d,
+                     std::size_t bound, const char* what) {
+  d->clear();
+  const std::size_t n = r.count(8, what);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = r.u64();
+    if (v >= bound) {
+      r.fail(std::string(what) + " index outside the LOCAL buffer");
+      return false;
+    }
+    d->push_back(static_cast<std::size_t>(v));
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+void Node::serialize(ckpt::Writer& w) const {
+  cc_.serialize(w);
+  w.u64(local_.size());
+  for (const LocalFlow& f : local_) {
+    w.i64(f.id);
+    w.i32(f.dst_node);
+    w.i32(f.src_server);
+    w.i32(f.dst_server);
+    w.i64(f.size.in_bytes());
+    w.i64(f.arrival.picoseconds());
+    w.i64(f.total_cells);
+    w.i64(f.moved_cells);
+  }
+  w.u64(per_dst_.size());
+  for (const auto& d : per_dst_) put_index_deque(w, d);
+  w.u64(static_cast<std::uint64_t>(first_unfinished_));
+  w.i64(unfinished_flows_);
+  put_index_deque(w, spray_ready_);
+  put_cell_queues(w, vq_);
+  put_cell_queues(w, fq_);
+  put_cell_queues(w, retx_);
+  w.i64(retx_total_);
+  gauge_.serialize(w);
+}
+
+bool Node::restore(ckpt::Reader& r) {
+  if (!cc_.restore(r)) return false;
+  const std::size_t n_local = r.count(8, "LOCAL flow list");
+  std::deque<LocalFlow> local;
+  for (std::size_t i = 0; i < n_local && r.ok(); ++i) {
+    LocalFlow f;
+    f.id = r.i64();
+    f.dst_node = r.i32();
+    f.src_server = r.i32();
+    f.dst_server = r.i32();
+    f.size = DataSize::bytes(r.i64());
+    f.arrival = Time::ps(r.i64());
+    f.total_cells = r.i64();
+    f.moved_cells = r.i64();
+    if (r.ok() &&
+        (f.dst_node < 0 ||
+         static_cast<std::size_t>(f.dst_node) >= per_dst_.size() ||
+         f.size.in_bytes() < 0 || f.total_cells <= 0 || f.moved_cells < 0 ||
+         f.moved_cells > f.total_cells)) {
+      r.fail("LOCAL flow state out of range");
+      return false;
+    }
+    local.push_back(f);
+  }
+  if (!r.ok()) return false;
+  const std::size_t n_per_dst = r.count(8, "per-destination index");
+  if (n_per_dst != per_dst_.size()) {
+    r.fail("per-destination index count does not match the node count");
+    return false;
+  }
+  std::vector<std::deque<std::size_t>> per_dst(n_per_dst);
+  for (auto& d : per_dst) {
+    if (!get_index_deque(r, &d, local.size(), "per-destination index")) {
+      return false;
+    }
+  }
+  const std::uint64_t first_unfinished = r.u64();
+  const std::int64_t unfinished = r.i64();
+  std::deque<std::size_t> spray;
+  if (!get_index_deque(r, &spray, local.size(), "spray rotation")) {
+    return false;
+  }
+  if (first_unfinished > local.size() || unfinished < 0 ||
+      unfinished > static_cast<std::int64_t>(local.size())) {
+    r.fail("LOCAL cursor state out of range");
+    return false;
+  }
+  local_ = std::move(local);
+  per_dst_ = std::move(per_dst);
+  first_unfinished_ = static_cast<std::size_t>(first_unfinished);
+  unfinished_flows_ = unfinished;
+  spray_ready_ = std::move(spray);
+  if (!get_cell_queues(r, &vq_, "virtual") ||
+      !get_cell_queues(r, &fq_, "forward") ||
+      !get_cell_queues(r, &retx_, "retransmission")) {
+    return false;
+  }
+  retx_total_ = r.i64();
+  if (r.ok() && retx_total_ < 0) {
+    r.fail("retransmission total negative");
+    return false;
+  }
+  return gauge_.restore(r);
 }
 
 }  // namespace sirius::node

@@ -194,6 +194,14 @@ class Node {
     return gauge_.current();
   }
 
+  /// Snapshottable: LOCAL flows and their per-dst index, the spray
+  /// rotation, every VQ/FQ/retx queue cell-by-cell, the congestion-control
+  /// state and the occupancy gauge — the complete data-plane state of this
+  /// node.
+  void serialize(ckpt::Writer& w) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
+  bool restore(ckpt::Reader& r) SIRIUS_REQUIRES(common::sim_slot_role);
+
  private:
   LocalFlow* oldest_pending_flow_for(NodeId dst, Time now, Time cell_interval)
       SIRIUS_REQUIRES(common::sim_slot_role);

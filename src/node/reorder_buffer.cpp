@@ -54,4 +54,38 @@ std::int64_t ReorderBuffer::on_arrival(std::int32_t seq, std::int32_t bytes) {
   return released;
 }
 
+void ReorderBuffer::serialize(ckpt::Writer& w) const {
+  w.i64(total_cells_);
+  w.i64(next_expected_);
+  w.vec_u64(pending_);
+  w.i64(buffered_cells_);
+  w.i64(buffered_bytes_);
+  w.i64(peak_bytes_);
+}
+
+bool ReorderBuffer::restore(ckpt::Reader& r) {
+  const std::int64_t total = r.i64();
+  const std::int64_t next = r.i64();
+  auto pending = r.vec_u64("reorder pending bitmap");
+  const std::int64_t buffered = r.i64();
+  const std::int64_t buffered_bytes = r.i64();
+  const std::int64_t peak_bytes = r.i64();
+  if (!r.ok()) return false;
+  const std::size_t words =
+      total > 0 ? static_cast<std::size_t>((total + 63) / 64) : 0;
+  if (total < 0 || next < 0 || next > total || pending.size() != words ||
+      buffered < 0 || buffered > total || buffered_bytes < 0 ||
+      peak_bytes < 0) {
+    r.fail("reorder buffer state out of range");
+    return false;
+  }
+  total_cells_ = total;
+  next_expected_ = next;
+  pending_ = std::move(pending);
+  buffered_cells_ = buffered;
+  buffered_bytes_ = buffered_bytes;
+  peak_bytes_ = peak_bytes;
+  return true;
+}
+
 }  // namespace sirius::node

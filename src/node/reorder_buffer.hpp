@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "common/hot_path.hpp"
 #include "common/units.hpp"
 
@@ -47,6 +48,11 @@ class ReorderBuffer {
   [[nodiscard]] DataSize peak_buffered() const {
     return DataSize::bytes(peak_bytes_);
   }
+
+  /// Snapshottable: full state incl. the pending bitmap, so a restored
+  /// receiver releases exactly the same in-order prefixes.
+  void serialize(ckpt::Writer& w) const;
+  bool restore(ckpt::Reader& r);
 
  private:
   [[nodiscard]] bool pending_bit(std::int32_t seq) const {

@@ -104,6 +104,46 @@ CyclicSchedule::Connection CyclicSchedule::connection(NodeId src,
   return Connection{off % slots_per_round_, off / slots_per_round_};
 }
 
+void CyclicSchedule::serialize(ckpt::Writer& w) const {
+  w.b(members_);
+  w.i32(uplinks_);
+  if (members_) {
+    w.u64(member_list_.size());
+    for (const NodeId n : member_list_) w.i32(n);
+  } else {
+    w.i32(nodes_);
+  }
+}
+
+bool CyclicSchedule::restore(ckpt::Reader& r) {
+  const bool members = r.b();
+  const std::int32_t uplinks = r.i32();
+  if (members) {
+    const std::size_t n = r.count(4, "schedule member list");
+    std::vector<NodeId> list(n);
+    for (auto& m : list) m = r.i32();
+    if (!r.ok()) return false;
+    if (uplinks < 1 || n < 2 ||
+        !std::is_sorted(list.begin(), list.end()) ||
+        std::adjacent_find(list.begin(), list.end()) != list.end() ||
+        list.front() < 0) {
+      r.fail("schedule member list invalid (needs sorted unique NodeIds, "
+             ">= 2 members, >= 1 uplink)");
+      return false;
+    }
+    *this = CyclicSchedule(std::move(list), uplinks);
+    return true;
+  }
+  const std::int32_t nodes = r.i32();
+  if (!r.ok()) return false;
+  if (nodes < 2 || uplinks < 1) {
+    r.fail("schedule geometry invalid (needs >= 2 nodes, >= 1 uplink)");
+    return false;
+  }
+  *this = CyclicSchedule(nodes, uplinks);
+  return true;
+}
+
 bool physically_contention_free(const topo::SiriusTopology& topo,
                                 const CyclicSchedule& sched) {
   // For each slot of one round, mark every (grating, output port) that

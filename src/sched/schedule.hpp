@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/io.hpp"
 #include "common/hot_path.hpp"
 #include "common/thread_safety.hpp"
 #include "common/units.hpp"
@@ -93,6 +94,13 @@ class CyclicSchedule final {
       SIRIUS_REQUIRES_SHARED(common::sim_slot_role) {
     return r * slots_per_round_;
   }
+
+  /// Snapshottable: the calendar is pure function of its constructor
+  /// inputs, so only those travel; restore re-derives the tables (and
+  /// re-validates, so hostile input cannot build an inconsistent schedule).
+  void serialize(ckpt::Writer& w) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
+  bool restore(ckpt::Reader& r) SIRIUS_REQUIRES(common::sim_slot_role);
 
  private:
   [[nodiscard]] std::int32_t offset_of(UplinkId u, std::int64_t t) const

@@ -42,6 +42,54 @@ std::vector<NodeId> initial_members(const ctrl::FaultPlan& plan,
 // baseline (FailoverStats::recovery).
 constexpr double kRecoverFrac = 0.95;
 
+// ---- checkpoint section markers (sirius.ckpt.v1 payload layout) ----------
+// Each top-level section opens with a 4-byte tag so a writer/reader layout
+// mismatch reports the section name instead of silently misparsing.
+constexpr std::uint32_t kTagMeta = 0x4154454du;       // "META"
+constexpr std::uint32_t kTagRng = 0x53474e52u;        // "RNGS"
+constexpr std::uint32_t kTagSched = 0x44484353u;      // "SCHD"
+constexpr std::uint32_t kTagNodes = 0x45444f4eu;      // "NODE"
+constexpr std::uint32_t kTagRx = 0x46425852u;         // "RXBF"
+constexpr std::uint32_t kTagWire = 0x45524957u;       // "WIRE"
+constexpr std::uint32_t kTagStats = 0x54415453u;      // "STAT"
+constexpr std::uint32_t kTagFailover = 0x4f4c4146u;   // "FALO"
+constexpr std::uint32_t kTagTelemetry = 0x454c4554u;  // "TELE"
+constexpr std::uint32_t kTagEnd = 0x21444e45u;        // "END!"
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void put_cell(ckpt::Writer& w, const node::Cell& c) {
+  w.i64(c.flow);
+  w.i32(c.seq);
+  w.i32(c.dst_node);
+  w.i32(c.dst_server);
+  w.i32(c.payload_bytes);
+  w.i32(c.retries);
+}
+
+node::Cell get_cell(ckpt::Reader& r) {
+  node::Cell c;
+  c.flow = r.i64();
+  c.seq = r.i32();
+  c.dst_node = r.i32();
+  c.dst_server = r.i32();
+  c.payload_bytes = r.i32();
+  c.retries = r.i32();
+  return c;
+}
+
+// On-wire size of one serialized Cell, for Reader::count bounds.
+constexpr std::size_t kCellBytes = 8 + 5 * 4;
+
 }  // namespace
 
 bool SiriusSim::timer_later(const RetxTimer& a, const RetxTimer& b) {
@@ -142,6 +190,11 @@ SiriusSim::SiriusSim(SiriusSimConfig cfg, const workload::Workload& workload)
   if (cfg_.record_recovery_curve) {
     recovery_ = std::make_unique<stats::RecoveryMeter>(
         cfg_.servers(), cfg_.server_share(), cfg_.recovery_bin);
+  }
+  // First checkpoint at the first slot-top at or after one cadence period
+  // (a t = 0 snapshot would just duplicate the constructor).
+  if (cfg_.checkpoint_every > Time::zero()) {
+    next_checkpoint_ = cfg_.checkpoint_every;
   }
   register_auditors();
 }
@@ -981,12 +1034,26 @@ SiriusSimResult SiriusSim::run() {
       workload_.last_arrival() / slot_len + 1;
   const std::int64_t hard_stop = last_arrival_slot + cfg_.max_drain_slots;
 
-  std::int64_t slot = 0;
-  for (; flows_remaining_ > 0 && slot < hard_stop; ++slot) {
+  // Baseline for --stop-on-violation: only violations recorded *by this
+  // run's slots* stop the loop, not leftovers from an earlier phase.
+  const std::int64_t inv_base =
+      check::InvariantContext::instance().violations();
+  // The cursor is a member: a restored sim re-enters here mid-run and
+  // continues from the snapshot's slot.
+  for (; flows_remaining_ > 0 && slot_ < hard_stop; ++slot_) {
     SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kSlotLoop);
-    const Time now = cfg_.slots.slot_start(slot);
-    if ((slot - round_base_slot_) % sched_.slots_per_round() == 0) {
-      const std::int64_t round = round_of_slot(slot);
+    const Time now = cfg_.slots.slot_start(slot_);
+    // Checkpoint before any slot work: the top of the slot is the one
+    // point where the cell ledger is guaranteed consistent (everything is
+    // delivered, queued, in flight, or dropped — never mid-move).
+    if (cfg_.checkpoint_sink && now >= next_checkpoint_) {
+      cfg_.checkpoint_sink(slot_, now, checkpoint_state());
+      while (next_checkpoint_ <= now) {
+        next_checkpoint_ += cfg_.checkpoint_every;
+      }
+    }
+    if ((slot_ - round_base_slot_) % sched_.slots_per_round() == 0) {
+      const std::int64_t round = round_of_slot(slot_);
       // Failover first: purges and schedule swaps must precede grant
       // issuance so no grant references a queue that is about to vanish.
       // A swap rebases the round phase at this very slot, so the round
@@ -994,7 +1061,7 @@ SiriusSimResult SiriusSim::run() {
       if (faults_active_) {
         SIRIUS_PROFILE_SCOPE(hub_->profiler(),
                              telemetry::ProfScope::kFailover);
-        round_boundary_failover(round, slot, now);
+        round_boundary_failover(round, slot_, now);
       }
       {
         SIRIUS_PROFILE_SCOPE(hub_->profiler(),
@@ -1006,7 +1073,7 @@ SiriusSimResult SiriusSim::run() {
       if (cfg_.audit_period_rounds > 0 &&
           round % cfg_.audit_period_rounds == 0) {
         SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kAudit);
-        audit_slot_ = slot - round_base_slot_;
+        audit_slot_ = slot_ - round_base_slot_;
         auditors_.run_all();
       }
       // Export cadence rides the round boundary: refresh gauges, then let
@@ -1021,19 +1088,26 @@ SiriusSimResult SiriusSim::run() {
       SIRIUS_PROFILE_SCOPE(hub_->profiler(),
                            telemetry::ProfScope::kLandInject);
       inject_arrivals(now);
-      land_arrivals(slot, now);
+      land_arrivals(slot_, now);
     }
     {
       SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kTransmit);
-      transmit_slot(slot, now);
+      transmit_slot(slot_, now);
+    }
+    // Bisection replay: freeze at the first slot whose work recorded a
+    // violation. slot_ is left pointing AT the violating slot, which is
+    // what SiriusSimResult::slots_simulated then reports.
+    if (cfg_.stop_on_violation &&
+        check::InvariantContext::instance().violations() > inv_base) {
+      break;
     }
   }
   // Land whatever is still in flight so delivery stats are complete.
   for (std::int64_t k = 0; k <= prop_slots_ && flows_remaining_ > 0; ++k) {
-    land_arrivals(slot + k, cfg_.slots.slot_start(slot + k));
+    land_arrivals(slot_ + k, cfg_.slots.slot_start(slot_ + k));
   }
-  if (cfg_.audit_period_rounds > 0) {
-    audit_slot_ = slot - round_base_slot_;
+  if (cfg_.audit_period_rounds > 0 && !cfg_.stop_on_violation) {
+    audit_slot_ = slot_ - round_base_slot_;
     auditors_.run_all();
   }
 
@@ -1041,7 +1115,7 @@ SiriusSimResult SiriusSim::run() {
   // so the series always covers the full run.
   if (hub_->metrics_enabled()) {
     update_gauges();
-    hub_->sample(cfg_.slots.slot_start(slot));
+    hub_->sample(cfg_.slots.slot_start(slot_));
   }
 
   SiriusSimResult r;
@@ -1052,11 +1126,11 @@ SiriusSimResult SiriusSim::run() {
         std::max(r.worst_node_queue_peak_kb, n.peak_queue().in_kb());
   }
   r.worst_reorder_peak_kb = reorder_peaks_.worst_peak().in_kb();
-  r.slots_simulated = slot;
+  r.slots_simulated = slot_;
   r.cells_delivered = c_delivered_->value();
   r.incomplete_flows = flows_remaining_;
   r.rejected_flows = c_rejected_flows_->value();
-  r.sim_end = cfg_.slots.slot_start(slot);
+  r.sim_end = cfg_.slots.slot_start(slot_);
   r.per_flow_completion = std::move(completions_);
   r.requests_sent = c_requests_->value();
   r.grants_released = c_released_->value();
@@ -1089,6 +1163,498 @@ SiriusSimResult SiriusSim::run() {
   }
   r.failover = fo_;
   return r;
+}
+
+// ---- checkpoint / restore -------------------------------------------------
+
+std::uint64_t SiriusSim::state_fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.racks));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.servers_per_rack));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.uplinks()));
+  h = fnv_u64(h,
+              static_cast<std::uint64_t>(cfg_.slots.cell_size().in_bytes()));
+  h = fnv_u64(
+      h, static_cast<std::uint64_t>(cfg_.slots.slot_duration().picoseconds()));
+  h = fnv_u64(
+      h, static_cast<std::uint64_t>(cfg_.slots.line_rate().bits_per_sec()));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.queue_limit));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.spread));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.max_vq_depth));
+  h = fnv_u64(h, cfg_.ideal ? 1u : 0u);
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.routing));
+  h = fnv_u64(
+      h, static_cast<std::uint64_t>(cfg_.propagation_delay.picoseconds()));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.server_nic.bits_per_sec()));
+  h = fnv_u64(
+      h, static_cast<std::uint64_t>(cfg_.rack_switch_latency.picoseconds()));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.miss_threshold));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.node_down_quorum));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.retx_timeout_rounds));
+  h = fnv_u64(h, static_cast<std::uint64_t>(cfg_.retry_limit));
+  h = fnv_u64(h, static_cast<std::uint64_t>(workload_.flows.size()));
+  for (const workload::Flow& f : workload_.flows) {
+    h = fnv_u64(h, static_cast<std::uint64_t>(f.id));
+    h = fnv_u64(h, static_cast<std::uint64_t>(f.src_server));
+    h = fnv_u64(h, static_cast<std::uint64_t>(f.dst_server));
+    h = fnv_u64(h, static_cast<std::uint64_t>(f.size.in_bytes()));
+    h = fnv_u64(h, static_cast<std::uint64_t>(f.arrival.picoseconds()));
+  }
+  return h;
+}
+
+void SiriusSim::serialize_state(ckpt::Writer& w) const {
+  w.tag(kTagMeta);
+  w.u64(state_fingerprint());
+  w.b(faults_active_);
+  w.i64(slot_);
+  w.i64(audit_slot_);
+  w.u64(static_cast<std::uint64_t>(next_flow_));
+  w.i64(flows_remaining_);
+
+  w.tag(kTagRng);
+  const Rng::State rs = rng_.state();
+  for (const std::uint64_t s : rs.s) w.u64(s);
+  const Rng::State fs = fault_rng_.state();
+  for (const std::uint64_t s : fs.s) w.u64(s);
+
+  w.tag(kTagSched);
+  sched_.serialize(w);
+  w.i64(round_base_slot_);
+  w.i64(rounds_base_);
+  w.i32(audit_flight_rounds_);
+
+  w.tag(kTagNodes);
+  w.u64(nodes_.size());
+  for (const node::Node& n : nodes_) n.serialize(w);
+
+  w.tag(kTagRx);
+  w.u64(rx_.size());
+  for (const auto& rxp : rx_) {
+    w.b(rxp != nullptr);
+    if (rxp == nullptr) continue;
+    w.i64(rxp->completion.picoseconds());
+    w.b(rxp->aborted);
+    rxp->reorder.serialize(w);
+  }
+  {
+    std::vector<std::int64_t> free_ps;
+    free_ps.reserve(server_free_.size());
+    for (const Time t : server_free_) free_ps.push_back(t.picoseconds());
+    w.vec_i64(free_ps);
+  }
+
+  w.tag(kTagWire);
+  w.u64(in_flight_.size());
+  for (const auto& bucket : in_flight_) {
+    w.u64(bucket.size());
+    for (const Arrival& a : bucket) {
+      put_cell(w, a.cell);
+      w.i32(a.to);
+    }
+  }
+
+  w.tag(kTagStats);
+  fct_.serialize(w);
+  goodput_.serialize(w);
+  reorder_peaks_.serialize(w);
+  {
+    std::vector<std::int64_t> done_ps;
+    done_ps.reserve(completions_.size());
+    for (const Time t : completions_) done_ps.push_back(t.picoseconds());
+    w.vec_i64(done_ps);
+  }
+  w.b(recovery_ != nullptr);
+  if (recovery_ != nullptr) recovery_->serialize(w);
+
+  w.tag(kTagFailover);
+  if (faults_active_) {
+    w.u64(health_.size());
+    for (const ctrl::PeerHealth& hh : health_) hh.serialize(w);
+    w.u64(views_.size());
+    for (const ctrl::MembershipView& v : views_) v.serialize(w);
+    w.vec_u8(truth_down_);
+    // The live min-heap's array order, verbatim: the run is deterministic,
+    // so restoring it byte-for-byte keeps later pop order bit-identical.
+    w.u64(retx_heap_.size());
+    for (const RetxTimer& t : retx_heap_) {
+      w.i64(t.deadline_round);
+      put_cell(w, t.cell);
+      w.i32(t.src);
+    }
+    w.i64(fault_round_);
+    w.i64(rack_fault_round_);
+    w.i64(detect_round_);
+    w.i64(detect_time_.picoseconds());
+    w.i64(fo_.dissemination_rounds);
+    w.i64(fo_.dissemination_latency.picoseconds());
+  }
+
+  serialize_telemetry(w);
+  w.tag(kTagEnd);
+}
+
+void SiriusSim::serialize_telemetry(ckpt::Writer& w) const {
+  w.tag(kTagTelemetry);
+  // Values travel keyed by name so a restore survives registration-order
+  // drift; the final exported artifacts (JSONL rows, histogram summary)
+  // of a resumed run must be byte-identical to an uninterrupted run's.
+  // Checkpointing is a cold path serialized under the slot role, so
+  // walking the registry here cannot race a shard.
+  // sirius-lint: allow(singleton-telemetry-escape)
+  const telemetry::MetricsRegistry& m = hub_->metrics();
+  w.u64(m.counter_names().size());
+  for (const std::string& name : m.counter_names()) {
+    w.str(name);
+    w.i64(m.find_counter(name)->value());
+  }
+  w.u64(m.gauge_names().size());
+  for (const std::string& name : m.gauge_names()) {
+    w.str(name);
+    w.f64(m.find_gauge(name)->value());
+  }
+  w.u64(m.histogram_names().size());
+  for (const std::string& name : m.histogram_names()) {
+    w.str(name);
+    w.vec_u64(m.find_histogram(name)->counts());
+  }
+  const telemetry::TimeSeriesSampler& s = hub_->sampler();
+  w.u64(s.columns().size());
+  for (const std::string& c : s.columns()) w.str(c);
+  w.u64(s.rows().size());
+  for (const telemetry::TimeSeriesSampler::Row& row : s.rows()) {
+    w.i64(row.at.picoseconds());
+    w.vec_f64(row.values);
+  }
+  w.i64(s.next_sample_at().picoseconds());
+}
+
+bool SiriusSim::restore_telemetry(ckpt::Reader& r) {
+  if (!r.expect_tag(kTagTelemetry, "telemetry")) return false;
+  // Cold path under the exclusive slot role; see serialize_telemetry.
+  // sirius-lint: allow(singleton-telemetry-escape)
+  telemetry::MetricsRegistry& m = hub_->metrics();
+  const std::size_t nc = r.count(9, "counters");
+  for (std::size_t i = 0; i < nc && r.ok(); ++i) {
+    const std::string name = r.str();
+    const std::int64_t v = r.i64();
+    if (!r.ok()) break;
+    telemetry::Counter* c = m.find_counter_mut(name);
+    if (c == nullptr) {
+      r.fail("checkpoint carries a counter this run never registered: '" +
+             name + "'");
+      break;
+    }
+    if (v < 0) {
+      r.fail("negative checkpoint value for counter '" + name + "'");
+      break;
+    }
+    c->set(v);
+  }
+  const std::size_t ng = r.count(9, "gauges");
+  for (std::size_t i = 0; i < ng && r.ok(); ++i) {
+    const std::string name = r.str();
+    const double v = r.f64();
+    if (!r.ok()) break;
+    telemetry::Gauge* g = m.find_gauge_mut(name);
+    if (g == nullptr) {
+      r.fail("checkpoint carries a gauge this run never registered: '" +
+             name + "'");
+      break;
+    }
+    g->set(v);
+  }
+  const std::size_t nh = r.count(9, "histograms");
+  for (std::size_t i = 0; i < nh && r.ok(); ++i) {
+    const std::string name = r.str();
+    const std::vector<std::uint64_t> counts = r.vec_u64("histogram bins");
+    if (!r.ok()) break;
+    Histogram* hist = m.find_histogram_mut(name);
+    if (hist == nullptr) {
+      r.fail("checkpoint carries a histogram this run never registered: '" +
+             name + "'");
+      break;
+    }
+    if (!hist->set_counts(counts)) {
+      r.fail("histogram '" + name +
+             "' bin count does not match this run's geometry");
+      break;
+    }
+  }
+  const std::size_t ncols = r.count(8, "sampler columns");
+  std::vector<std::string> cols;
+  cols.reserve(ncols);
+  for (std::size_t i = 0; i < ncols && r.ok(); ++i) cols.push_back(r.str());
+  const std::size_t nrows = r.count(8, "sampler rows");
+  std::vector<telemetry::TimeSeriesSampler::Row> rows;
+  rows.reserve(nrows);
+  for (std::size_t i = 0; i < nrows && r.ok(); ++i) {
+    telemetry::TimeSeriesSampler::Row row;
+    row.at = Time::ps(r.i64());
+    row.values = r.vec_f64("sampler row");
+    if (!r.ok()) break;
+    if (row.values.size() != cols.size()) {
+      r.fail("sampler row width does not match the column set");
+      break;
+    }
+    rows.push_back(std::move(row));
+  }
+  const Time next = Time::ps(r.i64());
+  if (!r.ok()) return false;
+  hub_->sampler().restore_series(std::move(cols), std::move(rows), next);
+  return true;
+}
+
+bool SiriusSim::restore_state_impl(ckpt::Reader& r) {
+  if (!r.expect_tag(kTagMeta, "meta")) return false;
+  const std::uint64_t fp = r.u64();
+  if (r.ok() && fp != state_fingerprint()) {
+    r.fail(
+        "checkpoint fingerprint does not match this run's config/workload "
+        "(geometry, knobs and workload must be identical; only the seed and "
+        "the fault plan may differ)");
+  }
+  const bool snap_faults = r.b();
+  if (r.ok() && snap_faults != faults_active_) {
+    r.fail(
+        "checkpoint fault-plan dynamism differs from this run's (both the "
+        "snapshot and the continuation must have the in-band failover "
+        "machinery on, or both off)");
+  }
+  const std::int64_t slot = r.i64();
+  const std::int64_t audit_slot = r.i64();
+  const std::uint64_t next_flow = r.u64();
+  const std::int64_t flows_remaining = r.i64();
+  if (r.ok() && (slot < 0 || audit_slot < 0)) {
+    r.fail("negative slot cursor");
+  }
+  if (r.ok() && next_flow > workload_.flows.size()) {
+    r.fail("flow-injection cursor exceeds the workload");
+  }
+  if (r.ok() &&
+      (flows_remaining < 0 ||
+       flows_remaining > static_cast<std::int64_t>(workload_.flows.size()))) {
+    r.fail("flows-remaining count out of range");
+  }
+  if (!r.ok()) return false;
+
+  if (!r.expect_tag(kTagRng, "rng")) return false;
+  Rng::State rs{};
+  for (std::uint64_t& s : rs.s) s = r.u64();
+  Rng::State fs{};
+  for (std::uint64_t& s : fs.s) s = r.u64();
+  if (!r.ok()) return false;
+
+  if (!r.expect_tag(kTagSched, "schedule")) return false;
+  if (!sched_.restore(r)) return false;
+  const std::int64_t round_base_slot = r.i64();
+  const std::int64_t rounds_base = r.i64();
+  const std::int32_t audit_flight = r.i32();
+  if (r.ok() &&
+      (round_base_slot < 0 || round_base_slot > slot || rounds_base < 0 ||
+       audit_flight < 1)) {
+    r.fail("schedule swap base out of range");
+  }
+  if (!r.ok()) return false;
+
+  if (!r.expect_tag(kTagNodes, "nodes")) return false;
+  if (r.count(1, "nodes") != nodes_.size()) {
+    r.fail("node count does not match this run's rack count");
+    return false;
+  }
+  for (node::Node& n : nodes_) {
+    if (!n.restore(r)) return false;
+  }
+
+  if (!r.expect_tag(kTagRx, "receive state")) return false;
+  if (r.count(1, "rx flows") != rx_.size()) {
+    r.fail("rx flow count does not match the workload");
+    return false;
+  }
+  for (auto& rxp : rx_) {
+    const bool present = r.b();
+    if (!r.ok()) return false;
+    if (!present) {
+      rxp.reset();
+      continue;
+    }
+    const std::int64_t comp_ps = r.i64();
+    const bool aborted = r.b();
+    auto fresh = std::make_unique<RxFlow>(0);
+    if (!fresh->reorder.restore(r)) return false;
+    fresh->completion = Time::ps(comp_ps);
+    fresh->aborted = aborted;
+    rxp = std::move(fresh);
+  }
+  {
+    const std::vector<std::int64_t> free_ps = r.vec_i64("server downlinks");
+    if (!r.ok()) return false;
+    if (free_ps.size() != server_free_.size()) {
+      r.fail("server downlink count does not match this run's config");
+      return false;
+    }
+    for (std::size_t i = 0; i < free_ps.size(); ++i) {
+      server_free_[i] = Time::ps(free_ps[i]);
+    }
+  }
+
+  if (!r.expect_tag(kTagWire, "in-flight ring")) return false;
+  if (r.count(1, "in-flight buckets") != in_flight_.size()) {
+    r.fail("in-flight ring size does not match this run's config");
+    return false;
+  }
+  for (auto& bucket : in_flight_) {
+    bucket.clear();
+    const std::size_t n = r.count(kCellBytes + 4, "in-flight cells");
+    if (!r.ok()) return false;
+    bucket.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Arrival a;
+      a.cell = get_cell(r);
+      a.to = r.i32();
+      if (!r.ok()) return false;
+      if (a.to < 0 || a.to >= cfg_.racks) {
+        r.fail("in-flight cell addressed outside the rack range");
+        return false;
+      }
+      bucket.push_back(a);
+    }
+  }
+
+  if (!r.expect_tag(kTagStats, "statistics")) return false;
+  if (!fct_.restore(r)) return false;
+  if (!goodput_.restore(r)) return false;
+  if (!reorder_peaks_.restore(r)) return false;
+  {
+    const std::vector<std::int64_t> done_ps = r.vec_i64("completion times");
+    if (!r.ok()) return false;
+    if (done_ps.size() != completions_.size()) {
+      r.fail("completion-time count does not match the workload");
+      return false;
+    }
+    for (std::size_t i = 0; i < done_ps.size(); ++i) {
+      completions_[i] = Time::ps(done_ps[i]);
+    }
+  }
+  const bool has_recovery = r.b();
+  if (!r.ok()) return false;
+  if (has_recovery != (recovery_ != nullptr)) {
+    r.fail(
+        "recovery-curve recording differs between the checkpoint and this "
+        "run's config");
+    return false;
+  }
+  if (recovery_ != nullptr && !recovery_->restore(r)) return false;
+
+  if (!r.expect_tag(kTagFailover, "failover")) return false;
+  if (faults_active_) {
+    if (r.count(1, "peer-health detectors") != health_.size()) {
+      r.fail("detector count does not match this run's rack count");
+      return false;
+    }
+    for (ctrl::PeerHealth& hh : health_) {
+      if (!hh.restore(r)) return false;
+    }
+    if (r.count(1, "membership views") != views_.size()) {
+      r.fail("membership view count does not match this run's rack count");
+      return false;
+    }
+    for (ctrl::MembershipView& v : views_) {
+      if (!v.restore(r)) return false;
+    }
+    {
+      std::vector<std::uint8_t> down = r.vec_u8("ground-truth rack status");
+      if (!r.ok()) return false;
+      if (down.size() != truth_down_.size()) {
+        r.fail("ground-truth vector does not match this run's rack count");
+        return false;
+      }
+      truth_down_ = std::move(down);
+    }
+    const std::size_t timers =
+        r.count(8 + kCellBytes + 4, "retransmission timers");
+    if (!r.ok()) return false;
+    retx_heap_.clear();
+    retx_heap_.reserve(timers);
+    for (std::size_t i = 0; i < timers; ++i) {
+      RetxTimer t;
+      t.deadline_round = r.i64();
+      t.cell = get_cell(r);
+      t.src = r.i32();
+      if (!r.ok()) return false;
+      if (t.src < 0 || t.src >= cfg_.racks) {
+        r.fail("retransmission timer source outside the rack range");
+        return false;
+      }
+      retx_heap_.push_back(t);
+    }
+    // A genuine checkpoint serialized a live heap array; verify instead of
+    // re-heapifying (make_heap could reorder equivalent layouts and break
+    // bit-identical resumption).
+    if (!std::is_heap(retx_heap_.begin(), retx_heap_.end(),
+                      &SiriusSim::timer_later)) {
+      r.fail("retransmission timers are not in heap order");
+      return false;
+    }
+    fault_round_ = r.i64();
+    rack_fault_round_ = r.i64();
+    detect_round_ = r.i64();
+    detect_time_ = Time::ps(r.i64());
+    fo_.dissemination_rounds = r.i64();
+    fo_.dissemination_latency = Time::ps(r.i64());
+    if (!r.ok()) return false;
+  }
+
+  if (!restore_telemetry(r)) return false;
+  if (!r.expect_tag(kTagEnd, "end")) return false;
+  if (!r.expect_end()) return false;
+
+  // All sections decoded and validated: commit the scalar cursors.
+  slot_ = slot;
+  audit_slot_ = audit_slot;
+  next_flow_ = static_cast<std::size_t>(next_flow);
+  flows_remaining_ = flows_remaining;
+  rng_.set_state(rs);
+  fault_rng_.set_state(fs);
+  round_base_slot_ = round_base_slot;
+  rounds_base_ = rounds_base;
+  audit_flight_rounds_ = audit_flight;
+  if (cfg_.checkpoint_every > Time::zero()) {
+    // The smallest cadence multiple strictly after the restored slot's
+    // start reproduces the straight run's sink cursor exactly (the sink
+    // fires at the first slot-top at or past each multiple, then advances
+    // past `now`).
+    const Time now = cfg_.slots.slot_start(slot_);
+    next_checkpoint_ =
+        cfg_.checkpoint_every * (now / cfg_.checkpoint_every + 1);
+  }
+  return true;
+}
+
+std::string SiriusSim::checkpoint_state() const {
+  common::SharedRoleLock slot_role(common::sim_slot_role);
+  ckpt::Writer w;
+  serialize_state(w);
+  return w.data();
+}
+
+bool SiriusSim::restore_state(std::string_view payload, std::string* error) {
+  common::RoleLock slot_role(common::sim_slot_role);
+  ckpt::Reader r(payload);
+  if (restore_state_impl(r)) return true;
+  if (error != nullptr) {
+    *error = r.ok() ? std::string("checkpoint restore failed") : r.error();
+  }
+  return false;
+}
+
+void SiriusSim::reseed_streams(std::uint64_t salt) {
+  common::RoleLock slot_role(common::sim_slot_role);
+  // Deterministic per salt, unrelated to the restored stream positions:
+  // two forks of one snapshot with different salts explore different
+  // futures; the same salt reproduces the same future.
+  rng_ = Rng(salt ^ 0x464f524b53494dull);
+  fault_rng_ = Rng(salt ^ 0x464f524b464cull);
 }
 
 }  // namespace sirius::sim

@@ -21,10 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "check/auditors.hpp"
+#include "ckpt/io.hpp"
 #include "common/hot_path.hpp"
 #include "common/rng.hpp"
 #include "common/thread_safety.hpp"
@@ -131,6 +135,24 @@ struct SiriusSimConfig {
   // the config itself.
   // sirius-lint: allow(no-shared-mutable-ref)
   telemetry::Hub* telemetry = nullptr;
+  /// Periodic checkpoint cadence in simulated time (zero = disabled). At
+  /// the first top-of-slot point at or after each multiple of
+  /// `checkpoint_every` — the consistent ledger point, before any slot
+  /// work — `checkpoint_sink` receives the serialized state. Serialization
+  /// is strictly read-only, so a checkpointing run is bit-identical to one
+  /// without the sink.
+  Time checkpoint_every = Time::zero();
+  /// Receives (slot, now, payload) at the cadence above. The payload is
+  /// the raw SiriusSim::checkpoint_state() bytes; frame it with
+  /// ckpt::save() to get a crash-safe `sirius.ckpt.v1` file.
+  std::function<void(std::int64_t slot, Time now, const std::string& payload)>
+      checkpoint_sink;
+  /// Stop the slot loop at the first slot whose work (including the
+  /// round-boundary audit) records an invariant violation in
+  /// check::InvariantMode::kCollect — the bisection replay knob: restore
+  /// the nearest snapshot, set audit_period_rounds = 1 and this flag, and
+  /// SiriusSimResult::slots_simulated pinpoints the first failing slot.
+  bool stop_on_violation = false;
 
   [[nodiscard]] std::int32_t servers() const { return racks * servers_per_rack; }
   [[nodiscard]] std::int32_t uplinks() const {
@@ -211,6 +233,30 @@ class SiriusSim {
   /// The invariant auditors this sim registered (see src/check/).
   const check::AuditorRegistry& auditors() const { return auditors_; }
 
+  // ---- checkpoint / restore (docs/OPERABILITY.md) ------------------------
+
+  /// Serializes the complete mutable simulator state — slot cursor, RNG
+  /// streams, schedule and swap bases, every node's queues and CC state,
+  /// receive/reorder state, in-flight ring, retx timers, failover
+  /// detectors, statistics and the telemetry registry/series — as a
+  /// `sirius.ckpt.v1` payload (unframed; see ckpt::save for the file
+  /// format). run() calls this at the checkpoint cadence, always at the
+  /// top of a slot, where the cell ledger is consistent.
+  [[nodiscard]] std::string checkpoint_state() const;
+  /// Restores state serialized by checkpoint_state() into this sim, which
+  /// must be constructed over the same geometry, knobs and workload
+  /// (fingerprint-checked; seed and fault plan are deliberately outside
+  /// the fingerprint so fork what-if continuations can vary them). On
+  /// failure `*error` (if non-null) gets a diagnostic and the sim is not
+  /// safe to run. Hostile payloads are rejected, never crash.
+  [[nodiscard]] bool restore_state(std::string_view payload,
+                                   std::string* error = nullptr);
+  /// Fork divergence: deterministically re-seeds both RNG streams from
+  /// `salt`, discarding the restored stream positions. Call after
+  /// restore_state() to make N what-if continuations of one snapshot
+  /// explore different futures.
+  void reseed_streams(std::uint64_t salt);
+
  private:
   struct RxFlow {
     node::ReorderBuffer reorder;
@@ -240,6 +286,20 @@ class SiriusSim {
   [[nodiscard]] NodeId rack_of(std::int32_t server) const {
     return server / cfg_.servers_per_rack;
   }
+
+  void serialize_state(ckpt::Writer& w) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
+  bool restore_state_impl(ckpt::Reader& r)
+      SIRIUS_REQUIRES(common::sim_slot_role);
+  void serialize_telemetry(ckpt::Writer& w) const
+      SIRIUS_REQUIRES_SHARED(common::sim_slot_role);
+  bool restore_telemetry(ckpt::Reader& r)
+      SIRIUS_REQUIRES(common::sim_slot_role);
+  /// FNV-1a over the geometry/knob fields that determine state layout and
+  /// slot-loop behaviour, plus the workload. Seed, fault plan, telemetry,
+  /// audit cadence and checkpoint cadence are excluded: those are the
+  /// fields bisection and fork continuations legitimately override.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
 
   void register_auditors() SIRIUS_REQUIRES(common::sim_slot_role);
   void bind_metrics() SIRIUS_REQUIRES(common::sim_slot_role);
@@ -322,6 +382,14 @@ class SiriusSim {
   check::AuditorRegistry auditors_;
   // schedule-relative slot for the permutation auditor
   std::int64_t audit_slot_ SIRIUS_GUARDED_BY(common::sim_slot_role) = 0;
+  // Slot-loop cursor, a member (not a run() local) so a restored sim
+  // resumes mid-run: run() continues from wherever the snapshot left it.
+  std::int64_t slot_ SIRIUS_GUARDED_BY(common::sim_slot_role) = 0;
+  // Next simulated time the checkpoint sink fires at; derived (never
+  // serialized): the smallest multiple of cfg_.checkpoint_every strictly
+  // after the current slot's start reproduces the straight run's cadence.
+  Time next_checkpoint_ SIRIUS_GUARDED_BY(common::sim_slot_role) =
+      Time::infinity();
 
   // ---- telemetry spine --------------------------------------------------
   // The sim's cumulative statistics live as named counters in the hub's

@@ -27,4 +27,28 @@ FctSummary FctTracker::summarize() {
   return s;
 }
 
+
+void FctTracker::serialize(ckpt::Writer& w) const {
+  w.vec_f64(all_ms_.samples());
+  w.vec_f64(short_ms_.samples());
+  w.i64(completed_);
+}
+
+bool FctTracker::restore(ckpt::Reader& r) {
+  auto all = r.vec_f64("fct all-flow samples");
+  auto shorts = r.vec_f64("fct short-flow samples");
+  const std::int64_t completed = r.i64();
+  if (!r.ok()) return false;
+  if (completed < 0 ||
+      all.size() != static_cast<std::size_t>(completed) ||
+      shorts.size() > all.size()) {
+    r.fail("fct tracker state out of range");
+    return false;
+  }
+  all_ms_.set_samples(std::move(all));
+  short_ms_.set_samples(std::move(shorts));
+  completed_ = completed;
+  return true;
+}
+
 }  // namespace sirius::stats

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "common/histogram.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
@@ -27,7 +28,7 @@ struct FctSummary {
 };
 
 /// Collects completion records and summarises them.
-class FctTracker {
+class FctTracker : public ckpt::Snapshottable {
  public:
   /// Records a completed flow of `size` with completion latency `fct`.
   void record(DataSize size, Time fct);
@@ -35,6 +36,11 @@ class FctTracker {
   [[nodiscard]] std::int64_t completed() const { return completed_; }
 
   FctSummary summarize();
+
+  /// Snapshottable: samples travel in insertion order so the summary's
+  /// float accumulation is bit-identical after a restore.
+  void serialize(ckpt::Writer& w) const override;
+  bool restore(ckpt::Reader& r) override;
 
  private:
   PercentileTracker all_ms_;

@@ -11,4 +11,28 @@ double GoodputMeter::normalized(Time horizon) const {
   return bits / capacity;
 }
 
+
+void GoodputMeter::serialize(ckpt::Writer& w) const {
+  w.i32(servers_);
+  w.i64(server_rate_.bits_per_sec());
+  w.i64(delivered_.in_bytes());
+}
+
+bool GoodputMeter::restore(ckpt::Reader& r) {
+  const std::int32_t servers = r.i32();
+  const std::int64_t rate_bps = r.i64();
+  const std::int64_t delivered = r.i64();
+  if (!r.ok()) return false;
+  if (servers != servers_ || rate_bps != server_rate_.bits_per_sec()) {
+    r.fail("goodput meter geometry does not match this run's config");
+    return false;
+  }
+  if (delivered < 0) {
+    r.fail("goodput meter delivered bytes negative");
+    return false;
+  }
+  delivered_ = DataSize::bytes(delivered);
+  return true;
+}
+
 }  // namespace sirius::stats

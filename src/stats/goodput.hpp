@@ -5,12 +5,13 @@
 
 #include <cstdint>
 
+#include "ckpt/snapshot.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
 
 namespace sirius::stats {
 
-class GoodputMeter {
+class GoodputMeter : public ckpt::Snapshottable {
  public:
   GoodputMeter(std::int32_t servers, DataRate server_rate)
       : servers_(servers), server_rate_(server_rate) {}
@@ -22,6 +23,10 @@ class GoodputMeter {
   /// Goodput over [0, horizon], normalised by N * R (1.0 = every server
   /// receiving at line rate for the whole window).
   [[nodiscard]] double normalized(Time horizon) const;
+
+  /// Snapshottable: geometry is validated against the constructed meter.
+  void serialize(ckpt::Writer& w) const override;
+  bool restore(ckpt::Reader& r) override;
 
  private:
   std::int32_t servers_;

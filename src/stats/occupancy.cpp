@@ -8,4 +8,44 @@ double OccupancyAggregator::mean_peak_bytes() const {
          static_cast<double>(entities_);
 }
 
+
+void ByteGauge::serialize(ckpt::Writer& w) const {
+  w.i64(current_.in_bytes());
+  w.i64(peak_.in_bytes());
+}
+
+bool ByteGauge::restore(ckpt::Reader& r) {
+  const std::int64_t current = r.i64();
+  const std::int64_t peak = r.i64();
+  if (!r.ok()) return false;
+  if (current < 0 || peak < current) {
+    r.fail("byte gauge state out of range");
+    return false;
+  }
+  current_ = DataSize::bytes(current);
+  peak_ = DataSize::bytes(peak);
+  return true;
+}
+
+void OccupancyAggregator::serialize(ckpt::Writer& w) const {
+  w.i64(worst_peak_.in_bytes());
+  w.i64(sum_peaks_.in_bytes());
+  w.i64(entities_);
+}
+
+bool OccupancyAggregator::restore(ckpt::Reader& r) {
+  const std::int64_t worst = r.i64();
+  const std::int64_t sum = r.i64();
+  const std::int64_t entities = r.i64();
+  if (!r.ok()) return false;
+  if (worst < 0 || sum < 0 || entities < 0) {
+    r.fail("occupancy aggregator state out of range");
+    return false;
+  }
+  worst_peak_ = DataSize::bytes(worst);
+  sum_peaks_ = DataSize::bytes(sum);
+  entities_ = entities;
+  return true;
+}
+
 }  // namespace sirius::stats

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "ckpt/io.hpp"
 #include "common/histogram.hpp"
 #include "common/units.hpp"
 
@@ -22,6 +23,10 @@ class ByteGauge {
   [[nodiscard]] DataSize current() const { return current_; }
   [[nodiscard]] DataSize peak() const { return peak_; }
 
+  /// Snapshottable (value type): current level + sticky peak.
+  void serialize(ckpt::Writer& w) const;
+  bool restore(ckpt::Reader& r);
+
  private:
   DataSize current_;
   DataSize peak_;
@@ -38,6 +43,10 @@ class OccupancyAggregator {
   [[nodiscard]] DataSize worst_peak() const { return worst_peak_; }
   /// Mean of the observed per-entity peaks, in bytes.
   [[nodiscard]] double mean_peak_bytes() const;
+
+  /// Snapshottable (value type).
+  void serialize(ckpt::Writer& w) const;
+  bool restore(ckpt::Reader& r);
 
  private:
   DataSize worst_peak_;

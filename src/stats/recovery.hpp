@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
 #include "telemetry/series.hpp"
@@ -41,7 +42,7 @@ struct RecoverySummary {
   bool recovered = false;
 };
 
-class RecoveryMeter {
+class RecoveryMeter : public ckpt::Snapshottable {
  public:
   /// `servers` and `server_rate` normalise bytes to fabric capacity, as in
   /// GoodputMeter; `bin` is the curve resolution.
@@ -70,6 +71,10 @@ class RecoveryMeter {
   [[nodiscard]] const telemetry::BinnedSeries& series() const {
     return series_;
   }
+
+  /// Snapshottable: geometry is validated, the accumulated bins travel.
+  void serialize(ckpt::Writer& w) const override;
+  bool restore(ckpt::Reader& r) override;
 
  private:
   std::int32_t servers_;

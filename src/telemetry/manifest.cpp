@@ -1,6 +1,6 @@
 #include "telemetry/manifest.hpp"
 
-#include <fstream>
+#include "common/atomic_file.hpp"
 
 namespace sirius::telemetry {
 
@@ -54,10 +54,9 @@ std::string Manifest::to_json() const {
 }
 
 bool Manifest::write(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << to_json();
-  return static_cast<bool>(out);
+  // Crash-safe: an aborted run leaves the previous manifest (or nothing),
+  // never a truncated JSON document.
+  return write_file_atomic(path, to_json());
 }
 
 }  // namespace sirius::telemetry

@@ -1,7 +1,8 @@
 #include "telemetry/metrics.hpp"
 
-#include <fstream>
+#include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/invariant.hpp"
 #include "telemetry/json.hpp"
 
@@ -47,6 +48,21 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
+  const auto it = histogram_index_.find(name);
+  return it == histogram_index_.end() ? nullptr : &histograms_[it->second];
+}
+
+Counter* MetricsRegistry::find_counter_mut(const std::string& name) {
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? nullptr : &counters_[it->second];
+}
+
+Gauge* MetricsRegistry::find_gauge_mut(const std::string& name) {
+  const auto it = gauge_index_.find(name);
+  return it == gauge_index_.end() ? nullptr : &gauges_[it->second];
+}
+
+Histogram* MetricsRegistry::find_histogram_mut(const std::string& name) {
   const auto it = histogram_index_.find(name);
   return it == histogram_index_.end() ? nullptr : &histograms_[it->second];
 }
@@ -113,8 +129,7 @@ void TimeSeriesSampler::sample(Time now) {
 }
 
 bool TimeSeriesSampler::write_jsonl(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+  std::ostringstream out;
   for (const Row& row : rows_) {
     JsonObject o;
     o.add_num("t_us", row.at.to_us());
@@ -123,12 +138,11 @@ bool TimeSeriesSampler::write_jsonl(const std::string& path) const {
     }
     out << o.str() << "\n";
   }
-  return static_cast<bool>(out);
+  return write_file_atomic(path, out.str());
 }
 
 bool TimeSeriesSampler::write_csv(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+  std::ostringstream out;
   out << "t_us";
   for (const std::string& c : columns_) out << "," << c;
   out << "\n";
@@ -137,7 +151,15 @@ bool TimeSeriesSampler::write_csv(const std::string& path) const {
     for (const double v : row.values) out << "," << json_number(v);
     out << "\n";
   }
-  return static_cast<bool>(out);
+  return write_file_atomic(path, out.str());
+}
+
+void TimeSeriesSampler::restore_series(std::vector<std::string> columns,
+                                       std::vector<Row> rows, Time next) {
+  columns_ = std::move(columns);
+  rows_ = std::move(rows);
+  columns_locked_ = !columns_.empty();
+  next_ = next;
 }
 
 }  // namespace sirius::telemetry

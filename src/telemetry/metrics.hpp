@@ -29,6 +29,8 @@ class Counter {
  public:
   void inc(std::int64_t n = 1) { v_ += n; }
   [[nodiscard]] std::int64_t value() const { return v_; }
+  /// Checkpoint restore only — producers must never rewind a counter.
+  void set(std::int64_t v) { v_ = v; }
 
  private:
   std::int64_t v_ = 0;
@@ -70,6 +72,22 @@ class MetricsRegistry {
   /// metric name; "{}" when no histograms are registered.
   [[nodiscard]] std::string histograms_json() const;
 
+  /// Registration-order name lists, for checkpoint capture (values travel
+  /// keyed by name so a restore tolerates registration-order drift).
+  [[nodiscard]] const std::vector<std::string>& counter_names() const {
+    return counter_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& gauge_names() const {
+    return gauge_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& histogram_names() const {
+    return histogram_names_;
+  }
+  /// Mutable lookups for checkpoint restore; nullptr when not registered.
+  [[nodiscard]] Counter* find_counter_mut(const std::string& name);
+  [[nodiscard]] Gauge* find_gauge_mut(const std::string& name);
+  [[nodiscard]] Histogram* find_histogram_mut(const std::string& name);
+
  private:
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
@@ -109,9 +127,18 @@ class TimeSeriesSampler {
   [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
 
   /// One JSON object per line: {"t_us": ..., "<metric>": ..., ...}.
+  /// Crash-safe: the series lands via temp file + atomic rename.
   [[nodiscard]] bool write_jsonl(const std::string& path) const;
-  /// Header row then one CSV row per sample.
+  /// Header row then one CSV row per sample. Crash-safe like write_jsonl.
   [[nodiscard]] bool write_csv(const std::string& path) const;
+
+  /// Checkpoint capture of the sampler cursor.
+  [[nodiscard]] Time next_sample_at() const { return next_; }
+  /// Checkpoint restore: reinstates the locked columns, the rows sampled so
+  /// far and the cadence cursor, so the series a resumed run writes is
+  /// byte-identical to an uninterrupted run's.
+  void restore_series(std::vector<std::string> columns, std::vector<Row> rows,
+                      Time next);
 
  private:
   const MetricsRegistry* registry_ = nullptr;

@@ -28,6 +28,8 @@ class BinnedSeries {
   [[nodiscard]] std::size_t size() const { return bins_.size(); }
   /// Start time of bin `i`.
   [[nodiscard]] Time bin_start(std::size_t i) const;
+  /// Checkpoint restore: replaces the accumulated bins wholesale.
+  void set_bins(std::vector<double> bins) { bins_ = std::move(bins); }
 
  private:
   Time bin_;

@@ -1,6 +1,8 @@
 #include "telemetry/trace.hpp"
 
-#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
 
 #include "telemetry/json.hpp"
 
@@ -41,9 +43,7 @@ void CellTracer::record(const CellEventRecord& r) {
 
 bool CellTracer::write_chrome_json(const std::string& path,
                                    std::int32_t nodes) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-
+  std::ostringstream out;
   std::vector<bool> seen(nodes > 0 ? static_cast<std::size_t>(nodes) : 0,
                          false);
   for (const CellEventRecord& r : events_) {
@@ -91,7 +91,8 @@ bool CellTracer::write_chrome_json(const std::string& path,
     emit(e.str());
   }
   out << "\n], \"otherData\": {\"dropped_events\": " << dropped_ << "}}\n";
-  return static_cast<bool>(out);
+  // Crash-safe: temp file + atomic rename, like every other artifact.
+  return write_file_atomic(path, out.str());
 }
 
 }  // namespace sirius::telemetry

@@ -1188,9 +1188,9 @@ const std::map<std::string, int>& layer_ranks() {
   static const std::map<std::string, int> kRanks = {
       {"common", 0},    {"check", 1},    {"optical", 2},  {"fec", 2},
       {"frame", 2},     {"powercost", 2}, {"workload", 2}, {"sync", 2},
-      {"telemetry", 2}, {"topo", 3},     {"phy", 3},      {"stats", 3},
-      {"cc", 3},        {"node", 4},     {"sched", 4},    {"ctrl", 4},
-      {"sim", 5},       {"esn", 6},      {"core", 7}};
+      {"telemetry", 2}, {"ckpt", 2},     {"topo", 3},     {"phy", 3},
+      {"stats", 3},     {"cc", 3},       {"node", 4},     {"sched", 4},
+      {"ctrl", 4},      {"sim", 5},      {"esn", 6},      {"core", 7}};
   return kRanks;
 }
 
