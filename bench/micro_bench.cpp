@@ -4,11 +4,11 @@
 //
 // `micro_bench --summary [path]` skips google-benchmark and instead runs
 // the end-to-end slot-throughput scenario once, writing a machine-readable
-// JSON summary (simulated cells/sec, wall-ns per sim-slot, peak RSS) to
-// `path` (stdout when omitted). CI commits one snapshot per growth PR at
-// the repo root (BENCH_<n>.json) so regressions show up in review diffs.
+// `sirius.bench.v1` summary (simulated cells/sec, wall-ns per sim-slot,
+// peak RSS over the pre-scenario baseline, plus a provenance block) to
+// `path` (stdout when omitted). perf_bench pins the wider suite; the
+// committed BENCH_<n>.json snapshots at the repo root come from there.
 #include <benchmark/benchmark.h>
-#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
@@ -16,7 +16,9 @@
 #include <filesystem>
 #include <string>
 
+#include "bench_common.hpp"
 #include "ckpt/checkpoint.hpp"
+#include "common/atomic_file.hpp"
 #include "common/rng.hpp"
 #include "fec/reed_solomon.hpp"
 #include "frame/cell_frame.hpp"
@@ -165,6 +167,10 @@ BENCHMARK(BM_SiriusSimSlots)->Unit(benchmark::kMillisecond);
 // one run measures the steady state; a short warm-up run pre-faults the
 // allocator and page cache).
 int run_summary(const char* path) {
+  // Baseline RSS before any scenario state is built: the reported peak is
+  // the delta over this, so static-init and harness footprint (notably
+  // google-benchmark's registry) stop inflating the scenario number.
+  const std::int64_t baseline_rss_kb = bench::peak_rss_kb();
   sim::SiriusSimConfig cfg;
   cfg.racks = 32;
   cfg.servers_per_rack = 8;
@@ -194,8 +200,7 @@ int run_summary(const char* path) {
     return 1;
   }
 
-  struct rusage ru {};
-  getrusage(RUSAGE_SELF, &ru);  // ru_maxrss is KiB on Linux
+  const std::int64_t peak_rss_kb = bench::peak_rss_kb();
 
   // Checkpoint cost: capture one mid-run `sirius.ckpt.v1` payload, then
   // time the full write path (serialize + frame + fsync + atomic rename)
@@ -245,42 +250,44 @@ int run_summary(const char* path) {
     }
   }
 
-  char buf[1536];
-  std::snprintf(
-      buf, sizeof buf,
-      "{\n"
-      "  \"scenario\": \"sim_slots_32rack_load50\",\n"
-      "  \"racks\": %d,\n"
-      "  \"flows\": %lld,\n"
-      "  \"slots_simulated\": %lld,\n"
-      "  \"cells_delivered\": %lld,\n"
-      "  \"wall_ns\": %.0f,\n"
-      "  \"cells_per_sec\": %.1f,\n"
-      "  \"wall_ns_per_slot\": %.2f,\n"
-      "  \"ckpt_bytes\": %lld,\n"
-      "  \"ckpt_write_ns\": %.0f,\n"
-      "  \"ckpt_restore_ns\": %.0f,\n"
-      "  \"peak_rss_kb\": %lld\n"
-      "}\n",
-      cfg.racks, static_cast<long long>(g.flow_count),
-      static_cast<long long>(r.slots_simulated),
-      static_cast<long long>(r.cells_delivered), wall_ns,
-      static_cast<double>(r.cells_delivered) * 1e9 / wall_ns,
-      wall_ns / static_cast<double>(r.slots_simulated),
-      static_cast<long long>(snap.size()), ckpt_write_ns, ckpt_restore_ns,
-      static_cast<long long>(ru.ru_maxrss));
+  // Same `sirius.bench.v1` shape as perf_bench: schema + provenance at the
+  // top level, one entry in `configs` (this binary pins a single scenario).
+  telemetry::JsonObject entry;
+  entry.add("name", "sim_slots_32rack_load50");
+  entry.add_int("racks", cfg.racks);
+  entry.add_int("flows", g.flow_count);
+  entry.add_num("load", g.load);
+  entry.add_int("slots_simulated", r.slots_simulated);
+  entry.add_int("cells_delivered", r.cells_delivered);
+  entry.add_num("wall_ns", wall_ns);
+  entry.add_num("cells_per_sec",
+                static_cast<double>(r.cells_delivered) * 1e9 / wall_ns);
+  entry.add_num("wall_ns_per_slot",
+                wall_ns / static_cast<double>(r.slots_simulated));
+  entry.add_int("ckpt_bytes", static_cast<std::int64_t>(snap.size()));
+  entry.add_num("ckpt_write_ns", ckpt_write_ns);
+  entry.add_num("ckpt_restore_ns", ckpt_restore_ns);
+  entry.add_int("baseline_rss_kb", baseline_rss_kb);
+  entry.add_int("peak_rss_delta_kb", peak_rss_kb > baseline_rss_kb
+                                         ? peak_rss_kb - baseline_rss_kb
+                                         : 0);
+
+  telemetry::JsonObject doc;
+  doc.add("schema", bench::kBenchSchema);
+  doc.add_raw("provenance", bench::provenance_json().str());
+  doc.add_raw("configs", telemetry::json_array({entry.str()}));
+  const std::string body = doc.str() + "\n";
 
   if (path == nullptr) {
-    std::fputs(buf, stdout);
+    std::fputs(body.c_str(), stdout);
     return 0;
   }
-  std::FILE* out = std::fopen(path, "wb");
-  if (out == nullptr) {
-    std::fprintf(stderr, "micro_bench: cannot write %s\n", path);
+  std::string werr;
+  if (!write_file_atomic(path, body, &werr)) {
+    std::fprintf(stderr, "micro_bench: cannot write %s: %s\n", path,
+                 werr.c_str());
     return 1;
   }
-  std::fputs(buf, out);
-  std::fclose(out);
   return 0;
 }
 

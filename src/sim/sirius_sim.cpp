@@ -350,6 +350,9 @@ void SiriusSim::abort_rx_flow(FlowId flow) {
 }
 
 void SiriusSim::deliver(const node::Cell& cell, Time now) {
+  // Nested under kTransmit (direct delivery) or kLandInject (fiber
+  // landing): the attribution tree shows which path delivery cost rides.
+  SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kDeliver);
   auto& rxp = rx_[static_cast<std::size_t>(cell.flow)];
   SIRIUS_INVARIANT(rxp != nullptr, "cell delivered for unknown flow %lld",
                    static_cast<long long>(cell.flow));
@@ -1047,6 +1050,8 @@ SiriusSimResult SiriusSim::run() {
     // point where the cell ledger is guaranteed consistent (everything is
     // delivered, queued, in flight, or dropped — never mid-move).
     if (cfg_.checkpoint_sink && now >= next_checkpoint_) {
+      SIRIUS_PROFILE_SCOPE(hub_->profiler(),
+                           telemetry::ProfScope::kCheckpoint);
       cfg_.checkpoint_sink(slot_, now, checkpoint_state());
       while (next_checkpoint_ <= now) {
         next_checkpoint_ += cfg_.checkpoint_every;
@@ -1080,6 +1085,7 @@ SiriusSimResult SiriusSim::run() {
       // the sampler decide whether a row is due. Reads sim state, never
       // writes it.
       if (hub_->metrics_enabled()) {
+        SIRIUS_PROFILE_SCOPE(hub_->profiler(), telemetry::ProfScope::kStats);
         update_gauges();
         hub_->maybe_sample(now);
       }

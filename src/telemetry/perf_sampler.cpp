@@ -1,0 +1,102 @@
+#include "telemetry/perf_sampler.hpp"
+
+#include <chrono>
+
+#include "telemetry/json.hpp"
+
+namespace sirius::telemetry {
+
+void PerfSampler::start(std::int64_t interval_us) {
+  if (thread_.joinable()) return;
+  interval_us_ = interval_us < 100 ? 100 : interval_us;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = false;
+  }
+  started_ = true;
+  samples_.clear();
+  const std::uint64_t t0 = Profiler::now_nanos();
+  thread_ = std::thread([this, t0] { run_loop(t0); });
+}
+
+void PerfSampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();  // happens-before edge: samples_ is ours again
+}
+
+void PerfSampler::sample_once(std::uint64_t t0_ns) {
+  Sample s;
+  s.wall_ns = Profiler::now_nanos() - t0_ns;
+  for (std::size_t i = 0; i < kProfScopeCount; ++i) {
+    s.nanos[i] = board_.nanos[i].load(std::memory_order_relaxed);
+    s.calls[i] = board_.calls[i].load(std::memory_order_relaxed);
+  }
+  samples_.push_back(s);
+}
+
+void PerfSampler::run_loop(std::uint64_t t0_ns) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Duration-based wait: no calendar clock involved, and a spurious
+    // wakeup just takes a harmless extra sample.
+    cv_.wait_for(lk, std::chrono::microseconds(interval_us_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lk.unlock();
+    sample_once(t0_ns);
+    lk.lock();
+  }
+  lk.unlock();
+  // Final snapshot: end-of-run totals are always observed, even when the
+  // run is shorter than one interval.
+  sample_once(t0_ns);
+}
+
+std::string PerfSampler::samples_json() const {
+  std::string phases = "[";
+  for (std::size_t i = 0; i < kProfScopeCount; ++i) {
+    if (i > 0) phases += ",";
+    phases += "\"";
+    phases += json_escape(prof_scope_name(static_cast<ProfScope>(i)));
+    phases += "\"";
+  }
+  phases += "]";
+
+  std::string rows = "[";
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    const Sample& s = samples_[r];
+    if (r > 0) rows += ",";
+    JsonObject o;
+    o.add_int("wall_ns", static_cast<std::int64_t>(s.wall_ns));
+    std::string nanos = "[";
+    std::string calls = "[";
+    for (std::size_t i = 0; i < kProfScopeCount; ++i) {
+      if (i > 0) {
+        nanos += ",";
+        calls += ",";
+      }
+      nanos += std::to_string(s.nanos[i]);
+      calls += std::to_string(s.calls[i]);
+    }
+    nanos += "]";
+    calls += "]";
+    o.add_raw("nanos", nanos);
+    o.add_raw("calls", calls);
+    rows += o.str();
+  }
+  rows += "]";
+
+  JsonObject top;
+  top.add("schema", "sirius.oob.v1");
+  top.add_int("interval_us", interval_us_);
+  top.add_raw("phases", phases);
+  top.add_raw("samples", rows);
+  return top.str();
+}
+
+}  // namespace sirius::telemetry

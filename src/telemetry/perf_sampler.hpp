@@ -1,0 +1,99 @@
+// Out-of-band perf-counter sampler (daqswitch-style).
+//
+// The determinism-critical sim thread publishes cheap relaxed atomic
+// counters (per-phase cumulative nanoseconds and call counts, fed by
+// Profiler scope exits through a PhaseBoard); a background thread wakes on
+// a wall-clock cadence, snapshots the board, and appends one Sample row.
+// The sim thread never locks, never blocks and never reads anything the
+// sampler wrote, so an active sampler leaves simulation results
+// bit-identical to a bare run (asserted in tests/profile_test.cpp, the
+// same contract telemetry already holds).
+//
+// This file shares the sirius-lint `no-wallclock` carve-out with
+// src/telemetry/profile.* (steady_clock::now() permitted, calendar clocks
+// still banned): the sample timestamps are host-side observations, never
+// simulated time.
+//
+// Threading contract (tsan-clean by construction):
+//   * board() atomics: relaxed writes from the sim thread, relaxed reads
+//     from the sampler thread — no ordering needed, samples are
+//     statistical observations, not ledgers.
+//   * samples(): owned by the sampler thread while running; readable by
+//     the owner only after stop(), whose join() provides the
+//     happens-before edge.
+//   * stop() is idempotent and is also run by the destructor, so shutdown
+//     ordering is safe whether the owner stops explicitly (Hub::finish)
+//     or lets destruction do it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/profile.hpp"
+
+namespace sirius::telemetry {
+
+class PerfSampler {
+ public:
+  /// One out-of-band observation: cumulative per-phase counters at a host
+  /// timestamp (nanoseconds since start()).
+  struct Sample {
+    std::uint64_t wall_ns = 0;
+    std::uint64_t nanos[kProfScopeCount] = {};
+    std::uint64_t calls[kProfScopeCount] = {};
+  };
+
+  PerfSampler() = default;
+  ~PerfSampler() { stop(); }
+  PerfSampler(const PerfSampler&) = delete;
+  PerfSampler& operator=(const PerfSampler&) = delete;
+
+  /// The shared counter board. Wire it into a Profiler with
+  /// profiler.publish_to(&sampler.board()) before start().
+  [[nodiscard]] PhaseBoard& board() { return board_; }
+
+  /// Launches the background thread sampling every `interval_us`
+  /// microseconds (host wall clock, floored at 100us so a typo cannot
+  /// busy-spin a core). No-op if already running. Host time on purpose:
+  /// sirius::Time is simulated time, and routing it here would couple
+  /// the sampler cadence to the sim. sirius-lint: allow(raw-unit-param)
+  void start(std::int64_t interval_us);
+  /// Stops and joins the background thread, taking one final snapshot so
+  /// samples() always reflects end-of-run totals even for runs shorter
+  /// than the interval. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  /// True once start() has been called (stays true after stop), so owners
+  /// know whether an export artifact is expected.
+  [[nodiscard]] bool started() const { return started_; }
+
+  /// Collected samples; call only after stop() (join() publishes them).
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+
+  /// JSON export: {"schema":"sirius.oob.v1","interval_us":...,"phases":
+  /// [names...],"samples":[{"wall_ns":...,"nanos":[...],"calls":[...]}]}.
+  /// Call only after stop().
+  [[nodiscard]] std::string samples_json() const;
+
+ private:
+  // Host-clock epoch, same rationale as start().
+  void sample_once(std::uint64_t t0_ns);  // sirius-lint: allow(raw-unit-param)
+  void run_loop(std::uint64_t t0_ns);     // sirius-lint: allow(raw-unit-param)
+
+  PhaseBoard board_;
+  std::vector<Sample> samples_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  ///< guarded by mu_
+  bool started_ = false;
+  std::int64_t interval_us_ = 0;
+};
+
+}  // namespace sirius::telemetry

@@ -1,0 +1,135 @@
+# CTest driver for the perf regression gate. Invoked as:
+#
+#   cmake -DPERF_BENCH=<perf_bench exe> -DBASELINE=<BENCH_<n>.json>
+#         -DOUT_DIR=<scratch dir> [-DEXPECT=pass|fail]
+#         [-DINJECT_SPIN_NS=<n>] [-DONLY=<substr>] -P check_regression.cmake
+#
+# Runs `perf_bench --quick` and compares each config's wall_ns_per_slot
+# against the committed baseline, matched by name. A config regresses when
+#
+#   fresh > baseline * 1.10 * scale + 2000 ns
+#
+# where `scale` is the ratio of the two runs' calibration_ns figures
+# (clamped to [0.25, 4]) — a fixed CPU workload timed in both documents,
+# so a baseline committed on a faster machine does not fail every CI box.
+# The 2000 ns floor keeps sub-microsecond jitter on tiny configs from
+# tripping the 10 % band. A failing comparison is retried once with a
+# fresh run before it is fatal (one-off host noise, not a trend).
+#
+# EXPECT=fail inverts the verdict: the run must regress (the gate's
+# self-test injects a deliberate slowdown via INJECT_SPIN_NS and asserts
+# the gate catches it — no retry in this mode).
+
+if(NOT DEFINED EXPECT)
+  set(EXPECT pass)
+endif()
+set(TOLERANCE_PCT 110)   # pass band: baseline * 110 %
+set(FLOOR_NS 2000)       # plus this absolute slack
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+file(READ ${BASELINE} baseline)
+string(JSON base_schema GET "${baseline}" schema)
+if(NOT base_schema STREQUAL "sirius.bench.v1")
+  message(FATAL_ERROR
+    "baseline schema is '${base_schema}', expected sirius.bench.v1")
+endif()
+string(JSON base_cal GET "${baseline}" calibration_ns)
+string(JSON n_base LENGTH "${baseline}" configs)
+
+# Runs perf_bench into ${OUT_DIR}/fresh_<tag>.json and sets
+# regressions_<tag> to a list of "name: fresh vs limit" strings.
+function(run_and_compare tag)
+  set(fresh_path ${OUT_DIR}/fresh_${tag}.json)
+  set(cmd ${PERF_BENCH} --quick --out ${fresh_path})
+  if(DEFINED ONLY AND NOT ONLY STREQUAL "")
+    list(APPEND cmd --only ${ONLY})
+  endif()
+  if(DEFINED INJECT_SPIN_NS AND NOT INJECT_SPIN_NS STREQUAL "")
+    list(APPEND cmd --inject-spin-ns ${INJECT_SPIN_NS})
+  endif()
+  execute_process(COMMAND ${cmd}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "perf_bench failed (exit ${rc}):\n${out}${err}")
+  endif()
+  file(READ ${fresh_path} fresh)
+
+  # Machine-speed scale as an integer percentage, clamped to [25, 400].
+  string(JSON fresh_cal GET "${fresh}" calibration_ns)
+  math(EXPR scale_pct "(${fresh_cal} * 100) / ${base_cal}")
+  if(scale_pct LESS 25)
+    set(scale_pct 25)
+  elseif(scale_pct GREATER 400)
+    set(scale_pct 400)
+  endif()
+
+  set(regressions "")
+  set(compared 0)
+  string(JSON n_fresh LENGTH "${fresh}" configs)
+  math(EXPR last "${n_fresh} - 1")
+  foreach(i RANGE ${last})
+    string(JSON name GET "${fresh}" configs ${i} name)
+    string(JSON fresh_ns GET "${fresh}" configs ${i} wall_ns_per_slot)
+    # Find the same config in the baseline (order is not part of the
+    # contract; names are).
+    set(base_ns "")
+    math(EXPR base_last "${n_base} - 1")
+    foreach(j RANGE ${base_last})
+      string(JSON bname GET "${baseline}" configs ${j} name)
+      if(bname STREQUAL name)
+        string(JSON base_ns GET "${baseline}" configs ${j} wall_ns_per_slot)
+        break()
+      endif()
+    endforeach()
+    if(base_ns STREQUAL "")
+      continue()  # new config, no baseline yet
+    endif()
+    # Integer maths over truncated ns (values are thousands of ns; the
+    # sub-ns fraction is noise either way).
+    string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_ns}")
+    string(REGEX MATCH "^[0-9]+" base_int "${base_ns}")
+    math(EXPR limit
+      "(${base_int} * ${TOLERANCE_PCT} * ${scale_pct}) / 10000 + ${FLOOR_NS}")
+    math(EXPR compared "${compared} + 1")
+    if(fresh_int GREATER limit)
+      list(APPEND regressions
+        "${name}: ${fresh_int} ns/slot > limit ${limit} (baseline ${base_int}, scale ${scale_pct}%)")
+    else()
+      message(STATUS
+        "${name}: ${fresh_int} ns/slot within limit ${limit} (baseline ${base_int})")
+    endif()
+  endforeach()
+  if(compared EQUAL 0)
+    message(FATAL_ERROR
+      "no config name matched between ${BASELINE} and the fresh run")
+  endif()
+  set(regressions_${tag} "${regressions}" PARENT_SCOPE)
+endfunction()
+
+run_and_compare(first)
+
+if(EXPECT STREQUAL "fail")
+  if(regressions_first STREQUAL "")
+    message(FATAL_ERROR
+      "gate self-test: injected slowdown was NOT detected — the regression "
+      "gate is not protecting anything")
+  endif()
+  message(STATUS "gate self-test: slowdown detected as expected:")
+  foreach(r ${regressions_first})
+    message(STATUS "  ${r}")
+  endforeach()
+  return()
+endif()
+
+if(NOT regressions_first STREQUAL "")
+  message(STATUS "regression on first run; retrying once (host noise?)")
+  run_and_compare(retry)
+  if(NOT regressions_retry STREQUAL "")
+    string(REPLACE ";" "\n  " pretty "${regressions_retry}")
+    message(FATAL_ERROR
+      "wall_ns_per_slot regressed vs ${BASELINE} (twice):\n  ${pretty}\n"
+      "If this slowdown is intended, regenerate the baseline with "
+      "`perf_bench --out BENCH_<n>.json` and commit it.")
+  endif()
+  message(STATUS "retry passed; first run attributed to host noise")
+endif()

@@ -1,0 +1,298 @@
+// Tests for the hierarchical profiler (src/telemetry/profile.*) and the
+// out-of-band perf sampler (src/telemetry/perf_sampler.*): nested
+// self/total attribution, path-sensitive tree nodes, the flame-style JSON
+// export, phase-board publication, sampler thread lifecycle and shutdown
+// ordering, and the determinism contract — a run with the sampler thread
+// live and a flame export configured must be bit-identical to a bare run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/sirius_sim.hpp"
+#include "telemetry/hub.hpp"
+#include "telemetry/perf_sampler.hpp"
+#include "telemetry/profile.hpp"
+#include "workload/generator.hpp"
+
+namespace sirius::telemetry {
+namespace {
+
+constexpr auto kLoop = ProfScope::kSlotLoop;
+constexpr auto kTx = ProfScope::kTransmit;
+constexpr auto kDel = ProfScope::kDeliver;
+constexpr auto kLand = ProfScope::kLandInject;
+
+/// The tree node for `scope` under `parent_index`, or nullptr.
+const Profiler::TreeNode* child_of(const Profiler& p, std::int32_t parent,
+                                   ProfScope scope) {
+  const auto& t = p.tree();
+  for (std::int32_t i = t[static_cast<std::size_t>(parent)].first_child;
+       i >= 0; i = t[static_cast<std::size_t>(i)].next_sibling) {
+    if (t[static_cast<std::size_t>(i)].scope == scope) {
+      return &t[static_cast<std::size_t>(i)];
+    }
+  }
+  return nullptr;
+}
+
+TEST(Profiler, NestedScopesSplitSelfAndTotal) {
+  Profiler p;
+  p.enable(true);
+  // slot-loop { transmit(30) transmit(20) } with 50 ns of own work.
+  p.enter(kLoop);
+  p.enter(kTx);
+  p.exit_scope(30);
+  p.enter(kTx);
+  p.exit_scope(20);
+  p.exit_scope(100);
+
+  const auto* loop = child_of(p, 0, kLoop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->calls, 1u);
+  EXPECT_EQ(loop->total_nanos, 100u);
+  EXPECT_EQ(loop->child_nanos, 50u);
+  EXPECT_EQ(loop->self_nanos(), 50u);
+
+  const std::int32_t loop_idx =
+      static_cast<std::int32_t>(loop - p.tree().data());
+  const auto* tx = child_of(p, loop_idx, kTx);
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->calls, 2u);
+  EXPECT_EQ(tx->total_nanos, 50u);
+  EXPECT_EQ(tx->self_nanos(), 50u);
+  EXPECT_EQ(tx->max_nanos, 30u);
+
+  // The flat table still aggregates path-insensitively.
+  EXPECT_EQ(p.stats(kTx).calls, 2u);
+  EXPECT_EQ(p.stats(kTx).total_nanos, 50u);
+  EXPECT_EQ(p.stats(kLoop).total_nanos, 100u);
+}
+
+TEST(Profiler, SameScopeUnderDifferentParentsGetsDistinctNodes) {
+  Profiler p;
+  p.enable(true);
+  p.enter(kTx);
+  p.enter(kDel);
+  p.exit_scope(7);
+  p.exit_scope(10);
+  p.enter(kLand);
+  p.enter(kDel);
+  p.exit_scope(5);
+  p.exit_scope(8);
+
+  const auto* tx = child_of(p, 0, kTx);
+  const auto* land = child_of(p, 0, kLand);
+  ASSERT_NE(tx, nullptr);
+  ASSERT_NE(land, nullptr);
+  const auto* del_under_tx = child_of(
+      p, static_cast<std::int32_t>(tx - p.tree().data()), kDel);
+  const auto* del_under_land = child_of(
+      p, static_cast<std::int32_t>(land - p.tree().data()), kDel);
+  ASSERT_NE(del_under_tx, nullptr);
+  ASSERT_NE(del_under_land, nullptr);
+  EXPECT_NE(del_under_tx, del_under_land);
+  EXPECT_EQ(del_under_tx->total_nanos, 7u);
+  EXPECT_EQ(del_under_land->total_nanos, 5u);
+  // Flat view merges the two paths.
+  EXPECT_EQ(p.stats(kDel).calls, 2u);
+  EXPECT_EQ(p.stats(kDel).total_nanos, 12u);
+}
+
+TEST(Profiler, SelfTimeNeverUnderflows) {
+  Profiler p;
+  p.enable(true);
+  // Child reports more time than the parent (clock granularity can do
+  // this for near-zero scopes): self clamps at zero instead of wrapping.
+  p.enter(kLoop);
+  p.enter(kTx);
+  p.exit_scope(100);
+  p.exit_scope(50);
+  const auto* loop = child_of(p, 0, kLoop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->self_nanos(), 0u);
+}
+
+TEST(Profiler, SpuriousExitIsIgnored) {
+  Profiler p;
+  p.enable(true);
+  p.exit_scope(123);  // no open scope: must not crash or account anything
+  p.enter(kTx);
+  p.exit_scope(5);
+  p.exit_scope(99);  // tree is back at the root: ignored too
+  EXPECT_EQ(p.stats(kTx).total_nanos, 5u);
+  const auto* tx = child_of(p, 0, kTx);
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->total_nanos, 5u);
+}
+
+TEST(Profiler, DisabledProfilerDoesNothing) {
+  Profiler p;
+  ASSERT_FALSE(p.enabled());
+  p.enter(kLoop);
+  p.exit_scope(100);
+  EXPECT_TRUE(p.tree().empty());
+  EXPECT_EQ(p.stats(kLoop).calls, 0u);
+  { ScopedTimer t(p, kTx); }
+  EXPECT_TRUE(p.tree().empty());
+  EXPECT_TRUE(p.table().empty());
+}
+
+TEST(Profiler, FlameJsonExportsTheTree) {
+  Profiler p;
+  p.enable(true);
+  p.enter(kLoop);
+  p.enter(kTx);
+  p.exit_scope(30);
+  p.exit_scope(100);
+  const std::string flame = p.flame_json();
+  EXPECT_NE(flame.find("\"name\": \"root\""), std::string::npos);
+  EXPECT_NE(flame.find("\"name\": \"slot-loop\""), std::string::npos);
+  EXPECT_NE(flame.find("\"name\": \"transmit\""), std::string::npos);
+  // Root covers its children: the only top-level scope contributed 100.
+  EXPECT_NE(flame.find("\"total_ns\": 100"), std::string::npos);
+  EXPECT_NE(flame.find("\"self_ns\": 70"), std::string::npos);
+}
+
+TEST(Profiler, PublishesScopeExitsToPhaseBoard) {
+  Profiler p;
+  PhaseBoard board;
+  p.enable(true);
+  p.publish_to(&board);
+  p.enter(kTx);
+  p.exit_scope(40);
+  p.enter(kTx);
+  p.exit_scope(2);
+  const auto idx = static_cast<std::size_t>(kTx);
+  EXPECT_EQ(board.nanos[idx].load(std::memory_order_relaxed), 42u);
+  EXPECT_EQ(board.calls[idx].load(std::memory_order_relaxed), 2u);
+  p.publish_to(nullptr);
+  p.enter(kTx);
+  p.exit_scope(1);
+  EXPECT_EQ(board.nanos[idx].load(std::memory_order_relaxed), 42u);
+}
+
+TEST(PerfSampler, CollectsCumulativeSamplesAndStopsCleanly) {
+  PerfSampler sampler;
+  Profiler p;
+  p.enable(true);
+  p.publish_to(&sampler.board());
+  sampler.start(100);
+  EXPECT_TRUE(sampler.running());
+  EXPECT_TRUE(sampler.started());
+  p.enter(kLoop);
+  p.exit_scope(1234);
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_TRUE(sampler.started());
+
+  // The final snapshot (taken inside stop()) guarantees at least one
+  // sample and end-of-run totals, however short the run was.
+  ASSERT_GE(sampler.samples().size(), 1u);
+  const auto& last = sampler.samples().back();
+  const auto idx = static_cast<std::size_t>(kLoop);
+  EXPECT_EQ(last.nanos[idx], 1234u);
+  EXPECT_EQ(last.calls[idx], 1u);
+  // Cumulative counters are monotone across samples.
+  for (std::size_t i = 1; i < sampler.samples().size(); ++i) {
+    EXPECT_GE(sampler.samples()[i].wall_ns,
+              sampler.samples()[i - 1].wall_ns);
+    EXPECT_GE(sampler.samples()[i].nanos[idx],
+              sampler.samples()[i - 1].nanos[idx]);
+  }
+
+  const std::string json = sampler.samples_json();
+  EXPECT_NE(json.find("\"schema\": \"sirius.oob.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"slot-loop\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns\""), std::string::npos);
+}
+
+TEST(PerfSampler, StopIsIdempotentAndSafeBeforeStart) {
+  {
+    PerfSampler never_started;
+    never_started.stop();  // no thread: must be a no-op
+    EXPECT_FALSE(never_started.started());
+    EXPECT_TRUE(never_started.samples().empty());
+  }
+  PerfSampler sampler;
+  sampler.start(100);
+  sampler.stop();
+  const auto n = sampler.samples().size();
+  sampler.stop();  // second stop: no new samples, no crash
+  EXPECT_EQ(sampler.samples().size(), n);
+  // Destructor runs stop() once more on scope exit — also idempotent.
+}
+
+TEST(PerfSampler, RestartAfterStopIsIgnoredWhileRunning) {
+  PerfSampler sampler;
+  sampler.start(100);
+  sampler.start(100000);  // already running: no-op, keeps first cadence
+  sampler.stop();
+  ASSERT_GE(sampler.samples().size(), 1u);
+}
+
+// The determinism contract, end to end: a simulation with the profiler
+// live, the out-of-band sampler thread snapshotting at 200 host-us, and a
+// flame export configured must produce bit-identical results to a bare
+// run of the same config and workload.
+TEST(PerfObservability, InstrumentedRunIsBitIdentical) {
+  sim::SiriusSimConfig cfg;
+  cfg.racks = 8;
+  cfg.servers_per_rack = 2;
+  workload::GeneratorConfig g;
+  g.servers = cfg.servers();
+  g.server_rate = cfg.server_share();
+  g.load = 0.4;
+  g.flow_count = 300;
+  const auto w = workload::generate(g);
+
+  sim::SiriusSimResult bare = sim::SiriusSim(cfg, w).run();
+
+  const auto flame_path =
+      std::filesystem::temp_directory_path() / "sirius_profile_test_flame.json";
+  TelemetryConfig tcfg;
+  tcfg.profile = true;
+  tcfg.oob_sample_us = 200;
+  tcfg.flame_out = flame_path.string();
+  Hub hub(tcfg);
+  auto icfg = cfg;
+  icfg.telemetry = &hub;
+  sim::SiriusSimResult inst = sim::SiriusSim(icfg, w).run();
+  const auto artifacts = hub.finish();
+
+  EXPECT_EQ(inst.slots_simulated, bare.slots_simulated);
+  EXPECT_EQ(inst.cells_delivered, bare.cells_delivered);
+  EXPECT_EQ(inst.incomplete_flows, bare.incomplete_flows);
+  EXPECT_EQ(inst.requests_sent, bare.requests_sent);
+  EXPECT_EQ(inst.grants_issued, bare.grants_issued);
+  ASSERT_EQ(inst.per_flow_completion.size(), bare.per_flow_completion.size());
+  for (std::size_t i = 0; i < bare.per_flow_completion.size(); ++i) {
+    EXPECT_EQ(inst.per_flow_completion[i].picoseconds(),
+              bare.per_flow_completion[i].picoseconds())
+        << "flow " << i;
+  }
+
+  // The sampler ran and the flame artifact was written.
+  EXPECT_FALSE(hub.oob_sampler().running());
+  EXPECT_GE(hub.oob_sampler().samples().size(), 1u);
+  bool flame_written = false;
+  for (const auto& a : artifacts) {
+    if (a.kind == "flame") flame_written = a.ok;
+  }
+  EXPECT_TRUE(flame_written);
+#if defined(SIRIUS_TELEMETRY)
+  // With the scope macros compiled in, the export carries the hot loop.
+  std::ifstream in(flame_path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("slot-loop"), std::string::npos);
+#endif
+  std::error_code ec;
+  std::filesystem::remove(flame_path, ec);
+}
+
+}  // namespace
+}  // namespace sirius::telemetry

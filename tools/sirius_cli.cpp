@@ -11,6 +11,8 @@
 //                    [--trace-events out.json] [--trace-sample N]
 //                    [--trace-max-events N] [--flight-recorder DEPTH]
 //                    [--manifest run.json] [--profile]
+//                    [--profile-flame flame.json] [--oob-sample-us U]
+//                    [--oob-out oob.json]
 //                    [--checkpoint-every-us U --checkpoint-out ck-{t}.ckpt]
 //                    [--restore snapshot.ckpt]
 //
@@ -25,7 +27,12 @@
 // trace-event JSON, loadable in Perfetto). `--metrics-out` streams the
 // metric registry on an epoch cadence, `--manifest` writes the
 // self-describing run manifest, `--profile` prints a wall-clock table of
-// the simulator hot paths. None of these change simulation results.
+// the simulator hot paths with hierarchical self/total attribution.
+// `--profile-flame` writes the same attribution tree as flame-graph-style
+// JSON; `--oob-sample-us` runs the out-of-band perf sampler (a background
+// thread snapshotting per-phase counters every U host-microseconds) with
+// `--oob-out` as its `sirius.oob.v1` export. None of these change
+// simulation results.
 //
 // Checkpointing (docs/OPERABILITY.md): `--checkpoint-every-us` +
 // `--checkpoint-out` write a crash-safe `sirius.ckpt.v1` snapshot of the
@@ -101,7 +108,9 @@ const std::vector<const char*>& allowed_options(const std::string& command) {
       "metrics-every-us",               "trace-events",
       "trace-sample", "trace-max-events",
       "flight-recorder",                "manifest",
-      "profile",      "checkpoint-every-us",
+      "profile",      "profile-flame",
+      "oob-sample-us",                  "oob-out",
+      "checkpoint-every-us",
       "checkpoint-out",                 "restore"};
   static const std::vector<const char*> kBisect = {
       "racks",      "servers-per-rack",
@@ -202,6 +211,9 @@ telemetry::TelemetryConfig telemetry_from(const Args& a) {
   tc.flight_recorder_depth =
       static_cast<std::int32_t>(opt_int(a, "flight-recorder", 0));
   tc.profile = a.options.count("profile") > 0;
+  tc.flame_out = opt_str(a, "profile-flame", "");
+  tc.oob_sample_us = opt_int(a, "oob-sample-us", 0);
+  tc.oob_out = opt_str(a, "oob-out", "");
   return tc;
 }
 
